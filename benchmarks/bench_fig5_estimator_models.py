@@ -1,0 +1,47 @@
+"""Fig. 5 — gray-box vs black-box mini-batch size prediction.
+
+Expected shape: the gray-box model's scatter hugs the measured values
+(high R2, low relative error) while the pure decision-tree baseline
+disperses on the held-out dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import render_table, run_fig5
+
+
+def test_fig5_batch_size_models(run_once, emit):
+    result = run_once(lambda: run_fig5(target="reddit2"))
+
+    order = np.argsort(result.measured)
+    rows = [
+        [
+            f"{result.measured[i]:.0f}",
+            f"{result.predicted_gray[i]:.0f}",
+            f"{result.predicted_black[i]:.0f}",
+        ]
+        for i in order[:: max(1, len(order) // 12)]
+    ]
+    emit()
+    emit(
+        render_table(
+            ["measured |Vi|", "gray-box pred", "black-box pred"],
+            rows,
+            title="Fig. 5: mini-batch size prediction on held-out Reddit2",
+        )
+    )
+    emit(
+        f"gray-box : R2={result.r2_gray:.4f}  "
+        f"mean rel err={result.mean_rel_error_gray * 100:.1f}%"
+    )
+    emit(
+        f"black-box: R2={result.r2_black:.4f}  "
+        f"mean rel err={result.mean_rel_error_black * 100:.1f}%"
+    )
+    emit("paper shape: gray-box points sit on the y=x line, black-box scatters")
+
+    assert result.r2_gray > 0.8, "gray-box must track measured sizes closely"
+    assert result.r2_gray > result.r2_black, "gray-box must beat the black box"
+    assert result.mean_rel_error_gray < result.mean_rel_error_black

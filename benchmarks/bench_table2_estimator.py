@@ -1,0 +1,26 @@
+"""Table 2 — precision of the gray-box performance estimator.
+
+Leave-one-dataset-out over Reddit / Reddit2 / Ogbn-products with power-law
+augmentation.  Paper bands: R2(T) 0.73-0.84, R2(Γ) 0.73-0.98, MSE(Acc)
+0.016-0.029.  Expected shape: R2 scores approaching 1, MSE(Acc) small.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_table2, run_table2
+
+
+def test_table2_estimator_precision(run_once, emit):
+    results = run_once(lambda: run_table2())
+
+    emit()
+    emit(render_table2(results))
+    emit(
+        "paper bands: R2(T) in [0.73, 0.84], R2(Γ) in [0.73, 0.98], "
+        "MSE(Acc) <= 0.03"
+    )
+
+    for r in results:
+        assert r.r2_time > 0.5, f"{r.dataset}: time estimation too weak"
+        assert r.r2_memory > 0.5, f"{r.dataset}: memory estimation too weak"
+        assert r.mse_accuracy < 0.05, f"{r.dataset}: accuracy MSE too high"

@@ -1,0 +1,34 @@
+"""Benchmark configuration.
+
+Each bench regenerates one table/figure of the paper; the workloads are
+whole experiments (minutes, not microseconds), so every bench runs exactly
+once via ``benchmark.pedantic(..., rounds=1, iterations=1)`` and prints the
+paper-shaped output.  Ground-truth profiling records are cached under
+``.cache/`` (see ``repro.experiments.cache``) and shared between benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a zero-argument callable exactly once under pytest-benchmark."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print through pytest's capture so tables reach the terminal even
+    without ``-s`` (the tee'd bench log must contain the paper tables)."""
+
+    def _emit(*args, **kwargs):
+        with capsys.disabled():
+            print(*args, **kwargs)
+
+    return _emit

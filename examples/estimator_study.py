@@ -1,0 +1,81 @@
+"""Inside the gray-box estimator: predictions vs reality.
+
+Profiles a set of configurations on (the synthetic stand-in for) Reddit2,
+fits the gray-box estimator, then checks its predictions on configurations
+it has never executed — including the Eq. 12 mini-batch size model against
+the pure black-box decision tree (the Fig. 5 comparison).
+
+Run:  python examples/estimator_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import TaskSpec, default_space
+from repro.estimator import GrayBoxEstimator, r2_score
+from repro.estimator.batchsize import BlackBoxBatchSizeModel, GrayBoxBatchSizeModel
+from repro.experiments import render_table
+from repro.runtime import profile_configs
+
+
+def main() -> None:
+    task = TaskSpec(dataset="reddit2", arch="sage", epochs=3)
+    space = default_space()
+    rng = np.random.default_rng(7)
+
+    print("profiling 24 training configurations for ground truth...")
+    train_records = profile_configs(task, space.sample(24, rng=rng))
+    print("profiling 8 held-out configurations...")
+    test_records = profile_configs(task, space.sample(8, rng=np.random.default_rng(99)))
+
+    estimator = GrayBoxEstimator().fit(train_records)
+    preds = estimator.predict(
+        [r.config for r in test_records],
+        [r.graph_profile for r in test_records],
+    )
+
+    rows = []
+    for record, pred in zip(test_records, preds):
+        rows.append(
+            [
+                record.config.describe()[:46],
+                f"{record.time_s * 1e3:.2f}",
+                f"{pred.time_s * 1e3:.2f}",
+                f"{record.memory_bytes / 1024**2:.1f}",
+                f"{pred.memory_bytes / 1024**2:.1f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["config", "T meas", "T pred", "Γ meas", "Γ pred"],
+            rows,
+            title="Gray-box estimator on unseen configurations (ms / MiB)",
+        )
+    )
+    t_r2 = r2_score(
+        np.array([r.time_s for r in test_records]),
+        np.array([p.time_s for p in preds]),
+    )
+    print(f"held-out R2 on epoch time: {t_r2:.3f}")
+
+    # Fig. 5 in miniature: batch-size prediction, gray vs black.
+    configs = [r.config for r in train_records]
+    profiles = [r.graph_profile for r in train_records]
+    sizes = np.array([r.mean_batch_nodes for r in train_records])
+    gray = GrayBoxBatchSizeModel().fit(configs, profiles, sizes)
+    black = BlackBoxBatchSizeModel().fit(configs, profiles, sizes)
+    test_configs = [r.config for r in test_records]
+    test_profiles = [r.graph_profile for r in test_records]
+    measured = np.array([r.mean_batch_nodes for r in test_records])
+    err_gray = np.abs(gray.predict(test_configs, test_profiles) - measured)
+    err_black = np.abs(black.predict(test_configs, test_profiles) - measured)
+    print(
+        f"|Vi| mean abs error: gray-box {err_gray.mean():.0f} vertices, "
+        f"black-box {err_black.mean():.0f} vertices"
+    )
+
+
+if __name__ == "__main__":
+    main()

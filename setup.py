@@ -1,0 +1,17 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` package, so
+``pip install -e .`` must use the setuptools legacy editable path."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "GNNavigator (DAC 2024) reproduction: adaptive GNN training via "
+        "automatic guideline exploration"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,16 @@
+"""GNNavigator reproduction (DAC 2024): adaptive GNN training via automatic
+guideline exploration.
+
+Public entry points:
+
+* :mod:`repro.graphs` — graph substrate and synthetic dataset zoo
+* :mod:`repro.autograd` / :mod:`repro.nn` — numpy GNN training stack
+* :mod:`repro.sampling` — unified sampler abstraction (Eq. 2/3)
+* :mod:`repro.hardware` — simulated heterogeneous platform + device cache
+* :mod:`repro.config` — reconfigurable settings, templates, design space
+* :mod:`repro.runtime` — the reconfigurable runtime backend (Algo. 1)
+* :mod:`repro.estimator` — gray-box performance estimator (Eqs. 4-12)
+* :mod:`repro.explorer` — DSE, Pareto decision making, ``GNNavigator`` facade
+"""
+
+__version__ = "1.0.0"

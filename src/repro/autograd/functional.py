@@ -1,0 +1,175 @@
+"""Differentiable activation, normalisation and loss functions.
+
+These compose :class:`~repro.autograd.tensor.Tensor` primitives or register
+custom backward closures where a fused implementation is clearer or more
+numerically stable (log-softmax, cross-entropy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "elu",
+    "exp",
+    "log",
+    "sigmoid",
+    "tanh",
+    "dropout",
+    "log_softmax",
+    "nll_loss",
+    "cross_entropy",
+    "concat",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    mask = x.data > 0
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_fresh(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    x = as_tensor(x)
+    mask = x.data > 0
+    out = np.where(mask, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_fresh(grad * np.where(mask, 1.0, negative_slope))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    x = as_tensor(x)
+    mask = x.data > 0
+    neg = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    out = np.where(mask, x.data, neg)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_fresh(grad * np.where(mask, 1.0, neg + alpha))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def exp(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out = np.exp(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_fresh(grad * out)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_fresh(grad / x.data)
+
+    return Tensor._make(np.log(x.data), (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_fresh(grad * out * (1.0 - out))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_fresh(grad * (1.0 - out**2))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def dropout(
+    x: Tensor,
+    p: float,
+    *,
+    training: bool = True,
+    rng: np.random.Generator | None = None,
+) -> Tensor:
+    """Inverted dropout; identity when evaluating or when ``p == 0``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must lie in [0, 1)")
+    x = as_tensor(x)
+    if not training or p == 0.0 or not is_grad_enabled():
+        return x
+    rng = rng or np.random.default_rng()
+    # float32 draws are ~2x faster and precision is irrelevant for masking.
+    keep = (rng.random(x.data.shape, dtype=np.float32) >= p).astype(x.data.dtype)
+    keep /= 1.0 - p
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_fresh(grad * keep)
+
+    return Tensor._make(x.data * keep, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable fused log-softmax."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_z
+    softmax = np.exp(out)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_fresh(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood for integer class targets."""
+    log_probs = as_tensor(log_probs)
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.data.shape[0]
+    if targets.shape != (n,):
+        raise ValueError("targets must be a 1-D class-id array matching rows")
+    picked = log_probs.data[np.arange(n), targets]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(log_probs.data)
+        full[np.arange(n), targets] = -grad / n
+        log_probs._accumulate_fresh(full)
+
+    return Tensor._make(np.asarray(-picked.mean()), (log_probs,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy from raw logits."""
+    return nll_loss(log_softmax(logits, axis=-1), targets)
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            idx = [slice(None)] * grad.ndim
+            idx[axis] = slice(lo, hi)
+            t._accumulate(grad[tuple(idx)])
+
+    return Tensor._make(out, tuple(tensors), backward)

@@ -1,0 +1,167 @@
+"""Sparse / graph-structured differentiable operations.
+
+GNN aggregation (Eq. 1 of the paper) reduces messages along edges.  The three
+primitives here cover every model we implement:
+
+* :func:`gather` — pick per-edge source rows from node embeddings;
+* :func:`scatter_add` / :func:`scatter_mean` — reduce edge messages to nodes;
+* :func:`segment_softmax` — per-destination softmax for GAT attention;
+* :func:`spmm` — CSR sparse × dense matmul (fixed topology, differentiable in
+  the dense operand), used by GCN/SAGE mean aggregation for speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+__all__ = ["gather", "scatter_add", "scatter_mean", "segment_softmax", "spmm", "normalized_adjacency"]
+
+
+def gather(x: Tensor, index: np.ndarray) -> Tensor:
+    """Rows ``x[index]`` with scatter-add backward."""
+    x = as_tensor(x)
+    index = np.asarray(index, dtype=np.int64)
+    out = x.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(x.data)
+        np.add.at(full, index, grad)
+        x._accumulate_fresh(full)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def scatter_add(src: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+    """Sum rows of ``src`` into ``num_rows`` buckets given by ``index``."""
+    src = as_tensor(src)
+    index = np.asarray(index, dtype=np.int64)
+    if index.shape[0] != src.data.shape[0]:
+        raise ValueError("index length must match src rows")
+    out = np.zeros((num_rows,) + src.data.shape[1:], dtype=src.data.dtype)
+    np.add.at(out, index, src.data)
+
+    def backward(grad: np.ndarray) -> None:
+        src._accumulate_fresh(grad[index])
+
+    return Tensor._make(out, (src,), backward)
+
+
+def scatter_mean(src: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+    """Mean-reduce rows of ``src`` per destination bucket (empty buckets → 0)."""
+    index = np.asarray(index, dtype=np.int64)
+    counts = np.bincount(index, minlength=num_rows).astype(np.float64)
+    counts = np.maximum(counts, 1.0).reshape((num_rows,) + (1,) * (src.data.ndim - 1))
+    summed = scatter_add(src, index, num_rows)
+    return summed * Tensor(1.0 / counts)
+
+
+def segment_softmax(
+    values: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    *,
+    scatter_matrix: sp.csr_matrix | None = None,
+) -> Tensor:
+    """Softmax of ``values`` computed independently within each segment.
+
+    Used for GAT: per-edge attention logits are normalised over all edges
+    sharing a destination vertex.  ``values`` may be 1-D (one head) or 2-D
+    ``(num_edges, num_heads)``.  ``scatter_matrix`` — a cached
+    ``(num_segments, num_edges)`` CSR summing rows per segment — replaces the
+    slow ``np.add.at`` reductions when supplied.
+    """
+    values = as_tensor(values)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    data = values.data
+    trailing = data.shape[1:]
+
+    def seg_sum_rows(rows: np.ndarray) -> np.ndarray:
+        if scatter_matrix is not None and rows.ndim == 2:
+            return scatter_matrix @ rows
+        total = np.zeros((num_segments,) + trailing, dtype=data.dtype)
+        np.add.at(total, segment_ids, rows)
+        return total
+
+    seg_max = np.full((num_segments,) + trailing, -np.inf, dtype=data.dtype)
+    np.maximum.at(seg_max, segment_ids, data)
+    shifted = data - seg_max[segment_ids]
+    exp = np.exp(shifted)
+    out = exp / seg_sum_rows(exp)[segment_ids]
+
+    def backward(grad: np.ndarray) -> None:
+        # d softmax: s * (g - sum_j s_j g_j) within each segment.
+        weighted = out * grad
+        seg_dot = seg_sum_rows(weighted)
+        values._accumulate_fresh(weighted - out * seg_dot[segment_ids])
+
+    return Tensor._make(out, (values,), backward)
+
+
+def spmm(
+    matrix: sp.csr_matrix,
+    x: Tensor,
+    *,
+    symmetric: bool = False,
+    transposed: sp.csr_matrix | None = None,
+) -> Tensor:
+    """``matrix @ x`` where ``matrix`` is a constant scipy CSR matrix.
+
+    The backward pass needs ``matrix.T``; pass ``symmetric=True`` for
+    symmetric propagation matrices (GCN's ``D^-1/2 Â D^-1/2``) or a cached
+    ``transposed`` matrix to avoid re-transposing per call.  Otherwise the
+    transpose is computed lazily on first backward and memoised.
+    """
+    x = as_tensor(x)
+    out = matrix @ x.data
+    state: dict[str, sp.csr_matrix] = {}
+    if symmetric:
+        state["T"] = matrix
+    elif transposed is not None:
+        state["T"] = transposed
+
+    def backward(grad: np.ndarray) -> None:
+        if "T" not in state:
+            state["T"] = matrix.T.tocsr()
+        x._accumulate_fresh(state["T"] @ grad)
+
+    return Tensor._make(np.asarray(out), (x,), backward)
+
+
+def normalized_adjacency(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    num_nodes: int,
+    *,
+    mode: str = "sym",
+    add_self_loops: bool = True,
+    dtype=None,
+) -> sp.csr_matrix:
+    """GCN-style normalised adjacency ``D^-1/2 (A + I) D^-1/2`` (or row ``D^-1 A``).
+
+    ``mode='sym'`` gives the GCN propagation matrix; ``mode='row'`` gives the
+    mean aggregator used by GraphSAGE.  Values use the autograd default dtype
+    unless overridden, so spmm products do not silently upcast.
+    """
+    from repro.autograd.tensor import get_default_dtype
+
+    dtype = dtype or get_default_dtype()
+    n_edges = indices.size
+    src = np.repeat(np.arange(num_nodes, dtype=np.int64), np.diff(indptr))
+    adj = sp.csr_matrix(
+        (np.ones(n_edges, dtype=dtype), (src, indices)),
+        shape=(num_nodes, num_nodes),
+    )
+    if add_self_loops:
+        adj = adj + sp.eye(num_nodes, format="csr", dtype=dtype)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    deg = np.maximum(deg, 1.0)
+    if mode == "sym":
+        d_inv_sqrt = sp.diags((1.0 / np.sqrt(deg)).astype(dtype))
+        return (d_inv_sqrt @ adj @ d_inv_sqrt).tocsr()
+    if mode == "row":
+        d_inv = sp.diags((1.0 / deg).astype(dtype))
+        return (d_inv @ adj).tocsr()
+    raise ValueError(f"unknown normalisation mode {mode!r}")

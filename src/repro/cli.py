@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``navigate``   run GNNavigator end to end on a task and print guidelines
+``templates``  run the baseline system templates on a task
+``datasets``   list the synthetic dataset zoo with statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import TaskSpec, get_template, template_names
+from repro.experiments.tables import render_table
+from repro.explorer import GNNavigator, RuntimeConstraint
+from repro.graphs import DATASETS, load_dataset, profile_graph
+from repro.runtime import RuntimeBackend
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GNNavigator (DAC 2024) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    nav = sub.add_parser("navigate", help="explore and train a guideline")
+    nav.add_argument("--dataset", default="reddit2")
+    nav.add_argument("--arch", default="sage", choices=["gcn", "sage", "gat"])
+    nav.add_argument("--platform", default="rtx4090")
+    nav.add_argument("--epochs", type=int, default=6)
+    nav.add_argument(
+        "--priority",
+        default="balance",
+        choices=["balance", "ex_tm", "ex_ma", "ex_ta"],
+    )
+    nav.add_argument("--budget", type=int, default=16, help="profiling budget")
+    nav.add_argument("--max-time-ms", type=float, default=None)
+    nav.add_argument("--max-memory-mib", type=float, default=None)
+    nav.add_argument("--min-accuracy", type=float, default=None)
+
+    tmpl = sub.add_parser("templates", help="run the baseline templates")
+    tmpl.add_argument("--dataset", default="reddit2")
+    tmpl.add_argument("--arch", default="sage", choices=["gcn", "sage", "gat"])
+    tmpl.add_argument("--epochs", type=int, default=4)
+
+    sub.add_parser("datasets", help="list the dataset zoo")
+    return parser
+
+
+def _cmd_navigate(args: argparse.Namespace) -> int:
+    constraint = RuntimeConstraint(
+        max_time_s=None if args.max_time_ms is None else args.max_time_ms / 1e3,
+        max_memory_bytes=(
+            None if args.max_memory_mib is None else args.max_memory_mib * 2**20
+        ),
+        min_accuracy=args.min_accuracy,
+    )
+    task = TaskSpec(
+        dataset=args.dataset,
+        arch=args.arch,
+        platform=args.platform,
+        epochs=args.epochs,
+    )
+    nav = GNNavigator(task, profile_budget=args.budget)
+    print(f"exploring for priority {args.priority!r} ({constraint.describe()})...")
+    report = nav.explore(constraint=constraint, priorities=[args.priority])
+    guideline = report.guidelines[args.priority]
+    print(f"guideline: {guideline.describe()}")
+    perf = nav.apply(guideline)
+    print(f"measured : {perf.summary()}")
+    return 0
+
+
+def _cmd_templates(args: argparse.Namespace) -> int:
+    task = TaskSpec(dataset=args.dataset, arch=args.arch, epochs=args.epochs)
+    rows = []
+    for name in template_names():
+        report = RuntimeBackend(task, get_template(name)).train()
+        rows.append(
+            [
+                name,
+                f"{report.time_s * 1e3:.2f}",
+                f"{report.memory.total / 2**20:.1f}",
+                f"{report.accuracy * 100:.2f}%",
+            ]
+        )
+    print(
+        render_table(
+            ["template", "T (ms)", "Γ (MiB)", "Acc"],
+            rows,
+            title=f"{task.dataset}+{task.arch}, {task.epochs} epochs",
+        )
+    )
+    return 0
+
+
+def _cmd_datasets() -> int:
+    rows = []
+    for spec in sorted({s.name: s for s in DATASETS.values()}.values(), key=lambda s: s.name):
+        graph = load_dataset(spec.name)
+        profile = profile_graph(graph)
+        rows.append(
+            [
+                spec.name,
+                "/".join(spec.aliases),
+                str(profile.num_nodes),
+                str(profile.num_edges),
+                f"{profile.avg_degree:.1f}",
+                str(profile.feature_dim),
+                str(profile.num_classes),
+            ]
+        )
+    print(
+        render_table(
+            ["dataset", "aliases", "|V|", "|E|", "avg deg", "n_attr", "classes"],
+            rows,
+            title="Synthetic dataset zoo (scaled stand-ins, see DESIGN.md)",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "navigate":
+        return _cmd_navigate(args)
+    if args.command == "templates":
+        return _cmd_templates(args)
+    return _cmd_datasets()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

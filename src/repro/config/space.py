@@ -1,0 +1,148 @@
+"""Design space: the set of all reconfigurable-setting assignments (Sec. 3.3).
+
+A :class:`DesignSpace` is an ordered mapping ``knob -> domain``.  The DFS
+explorer walks knobs in order, assigning one domain value per level, so the
+space doubles as the explorer's search tree.  Candidates are canonicalised
+(see :meth:`TrainingConfig.canonical`) and deduplicated, which is how the
+``bias_rate×sampler`` and ``cache_ratio×policy`` interactions prune
+redundant branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterator
+
+import numpy as np
+
+from repro.config.settings import TrainingConfig
+from repro.errors import ConfigError
+
+__all__ = ["DesignSpace", "default_space", "reduced_space"]
+
+
+class DesignSpace:
+    """Cartesian product of per-knob domains with canonical deduplication."""
+
+    def __init__(self, domains: dict[str, tuple], base: TrainingConfig | None = None):
+        if not domains:
+            raise ConfigError("design space needs at least one dimension")
+        valid = set(TrainingConfig.__dataclass_fields__)
+        for name, values in domains.items():
+            if name not in valid:
+                raise ConfigError(f"unknown knob {name!r}")
+            if not values:
+                raise ConfigError(f"knob {name!r} has an empty domain")
+        self.domains = {k: tuple(v) for k, v in domains.items()}
+        self.base = base or TrainingConfig()
+
+    @property
+    def knobs(self) -> list[str]:
+        """Dimension names in DFS order."""
+        return list(self.domains)
+
+    def raw_size(self) -> int:
+        """Cartesian-product size before canonical deduplication."""
+        size = 1
+        for values in self.domains.values():
+            size *= len(values)
+        return size
+
+    def build(self, assignment: dict[str, object]) -> TrainingConfig:
+        """Materialise a (possibly partial) assignment onto the base config."""
+        return replace(self.base, **assignment).canonical()
+
+    def __iter__(self) -> Iterator[TrainingConfig]:
+        """Enumerate unique canonical candidates in DFS order."""
+        seen: set[TrainingConfig] = set()
+        knobs = self.knobs
+
+        def recurse(level: int, assignment: dict) -> Iterator[TrainingConfig]:
+            if level == len(knobs):
+                candidate = self.build(assignment)
+                if candidate not in seen:
+                    seen.add(candidate)
+                    yield candidate
+                return
+            knob = knobs[level]
+            for value in self.domains[knob]:
+                assignment[knob] = value
+                yield from recurse(level + 1, assignment)
+            del assignment[knob]
+
+        yield from recurse(0, {})
+
+    def enumerate(self) -> list[TrainingConfig]:
+        """All unique candidates as a list."""
+        return list(self)
+
+    def sample(self, count: int, *, rng: np.random.Generator) -> list[TrainingConfig]:
+        """Uniformly sample ``count`` distinct canonical candidates.
+
+        Draws assignments at random and deduplicates; falls back to full
+        enumeration when the space is small enough that rejection sampling
+        would stall.
+        """
+        if count <= 0:
+            raise ConfigError("sample count must be positive")
+        raw = self.raw_size()
+        if raw <= 4 * count:
+            candidates = self.enumerate()
+            rng.shuffle(candidates)
+            return candidates[:count]
+        seen: set[TrainingConfig] = set()
+        out: list[TrainingConfig] = []
+        attempts = 0
+        while len(out) < count and attempts < 50 * count:
+            attempts += 1
+            assignment = {
+                knob: values[rng.integers(len(values))]
+                for knob, values in self.domains.items()
+            }
+            candidate = self.build(assignment)
+            if candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+        return out
+
+    def neighbors(self, config: TrainingConfig) -> list[TrainingConfig]:
+        """Candidates differing from ``config`` in exactly one knob."""
+        out: list[TrainingConfig] = []
+        for knob, values in self.domains.items():
+            current = getattr(config, knob)
+            for value in values:
+                if value == current:
+                    continue
+                out.append(replace(config, **{knob: value}).canonical())
+        return [c for c in dict.fromkeys(out) if c != config.canonical()]
+
+
+def default_space() -> DesignSpace:
+    """The full design space used for estimator-guided exploration."""
+    return DesignSpace(
+        {
+            "batch_size": (128, 256, 512),
+            "sampler": ("sage", "biased", "fastgcn", "saint"),
+            "hop_list": ((3, 2), (5, 3), (10, 5), (15, 10)),
+            "bias_rate": (0.0, 0.5, 0.9),
+            "cache_ratio": (0.0, 0.05, 0.15, 0.3, 0.5),
+            "cache_policy": ("none", "static", "fifo", "lru"),
+            "hidden_channels": (16, 32, 64),
+            "reorder": ("none", "degree"),
+        }
+    )
+
+
+def reduced_space() -> DesignSpace:
+    """A space small enough to exhaust by real execution (Fig. 6 protocol)."""
+    return DesignSpace(
+        {
+            "batch_size": (128, 256),
+            "sampler": ("sage", "biased", "saint"),
+            "hop_list": ((5, 3), (10, 5)),
+            "bias_rate": (0.0, 0.9),
+            "cache_ratio": (0.0, 0.15, 0.4),
+            "cache_policy": ("none", "static", "lru"),
+            "hidden_channels": (32,),
+        }
+    )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the GNNavigator reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from runtime problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A graph is structurally invalid (bad CSR arrays, dangling edges...)."""
+
+
+class ConfigError(ReproError):
+    """A training configuration is out of the legal design space."""
+
+
+class HardwareError(ReproError):
+    """A hardware specification is inconsistent or a budget is violated."""
+
+
+class SamplingError(ReproError):
+    """A sampler received arguments it cannot honour."""
+
+
+class EstimatorError(ReproError):
+    """The performance estimator was used before fitting or on bad inputs."""
+
+
+class ExplorationError(ReproError):
+    """Design-space exploration could not produce a feasible guideline."""

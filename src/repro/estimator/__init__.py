@@ -1,0 +1,37 @@
+"""Gray-box performance estimator: Eqs. 4-12 analytics + learned components."""
+
+from repro.estimator.accuracy import AccuracyModel, accuracy_features
+from repro.estimator.batchsize import (
+    BlackBoxBatchSizeModel,
+    GrayBoxBatchSizeModel,
+    analytic_batch_size,
+)
+from repro.estimator.blackbox import DecisionTreeRegressor, RandomForestRegressor
+from repro.estimator.features import encode, encode_names, encode_records
+from repro.estimator.graybox import BlackBoxEstimator, GrayBoxEstimator, PredictedPerf
+from repro.estimator.validation import (
+    EstimatorValidation,
+    mse,
+    r2_score,
+    validate_leave_one_out,
+)
+
+__all__ = [
+    "AccuracyModel",
+    "accuracy_features",
+    "GrayBoxBatchSizeModel",
+    "BlackBoxBatchSizeModel",
+    "analytic_batch_size",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "encode",
+    "encode_names",
+    "encode_records",
+    "GrayBoxEstimator",
+    "BlackBoxEstimator",
+    "PredictedPerf",
+    "EstimatorValidation",
+    "r2_score",
+    "mse",
+    "validate_leave_one_out",
+]

@@ -1,0 +1,99 @@
+"""Accuracy-change estimation — Eq. 11.
+
+``δAcc = f_accuracy(Deg(G_i), Deg(G), |V_i|)``: the paper models accuracy
+relative to unbiased mini-batch training from the degree distribution of the
+sampled batches vs. the full graph, on the assumption that batches focusing
+on important (high-degree) vertices learn more.  As the paper concedes, this
+component "is still more like a black box": we expose exactly the Eq. 11
+inputs plus the sampler knobs that shape them, and learn the mapping with a
+forest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.settings import SAMPLER_NAMES, TrainingConfig
+from repro.errors import EstimatorError
+from repro.estimator.blackbox import RandomForestRegressor
+from repro.graphs.profiling import GraphProfile
+
+__all__ = ["AccuracyModel", "accuracy_features"]
+
+
+def accuracy_features(
+    config: TrainingConfig,
+    profile: GraphProfile,
+    batch_nodes: float,
+    batch_edges: float,
+) -> np.ndarray:
+    """Eq. 11 inputs: batch degree stats vs graph degree stats, |V_i|, knobs."""
+    batch_degree = batch_edges / max(batch_nodes, 1.0)
+    sampler_onehot = [1.0 if config.sampler == s else 0.0 for s in SAMPLER_NAMES]
+    return np.array(
+        [
+            batch_degree,  # Deg(G_i)
+            profile.avg_degree,  # Deg(G)
+            batch_degree / max(profile.avg_degree, 1e-9),
+            np.log1p(batch_nodes),  # |V_i|
+            batch_nodes / max(profile.num_nodes, 1),
+            config.bias_rate,
+            float(config.batch_size),
+            float(sum(config.hop_list)),
+            float(config.hidden_channels),
+            config.dropout,
+            float(profile.num_classes),
+            getattr(profile, "homophily", 0.0),
+            getattr(profile, "separability", 0.0),
+            *sampler_onehot,
+        ],
+        dtype=np.float64,
+    )
+
+
+class AccuracyModel:
+    """Forest over Eq. 11 features predicting final task accuracy."""
+
+    def __init__(self, *, n_estimators: int = 20, random_state: int = 0) -> None:
+        self._forest = RandomForestRegressor(
+            n_estimators=n_estimators,
+            max_depth=6,
+            min_samples_leaf=3,
+            random_state=random_state,
+        )
+        self._fitted = False
+
+    def fit(self, records) -> "AccuracyModel":
+        """Fit from :class:`~repro.runtime.profiler.GroundTruthRecord` list."""
+        if not records:
+            raise EstimatorError("no records to fit on")
+        x = np.stack(
+            [
+                accuracy_features(
+                    r.config, r.graph_profile, r.mean_batch_nodes, r.mean_batch_edges
+                )
+                for r in records
+            ]
+        )
+        y = np.array([r.accuracy for r in records])
+        self._forest.fit(x, y)
+        self._fitted = True
+        return self
+
+    def predict(
+        self,
+        configs: list[TrainingConfig],
+        profiles: list[GraphProfile],
+        batch_nodes: np.ndarray,
+        batch_edges: np.ndarray,
+    ) -> np.ndarray:
+        """Predict accuracy given (predicted) batch statistics."""
+        if not self._fitted:
+            raise EstimatorError("predict() before fit()")
+        x = np.stack(
+            [
+                accuracy_features(c, p, v, e)
+                for c, p, v, e in zip(configs, profiles, batch_nodes, batch_edges)
+            ]
+        )
+        return np.clip(self._forest.predict(x), 0.0, 1.0)

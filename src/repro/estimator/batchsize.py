@@ -1,0 +1,152 @@
+"""Mini-batch size estimation — Eq. 12 and the Fig. 5 comparison.
+
+``E[|V_i|] = f_overlapping(|B0| * Π_l (1 + k_l)^τ, p(η))``: the analytic
+tree-growth bound is exact for trees but overshoots on real graphs because
+sampled neighbourhoods overlap.  The gray-box model therefore predicts a
+*log-space correction* to the closed-form saturating expectation with a small
+learned tree — theory carries the scale, learning carries the graph-specific
+overlap behaviour.  The pure black-box baseline maps raw features straight to
+``|V_i|``, which is exactly the model Fig. 5(b) shows scattering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.settings import SAMPLER_NAMES, TrainingConfig
+from repro.errors import EstimatorError
+from repro.estimator.blackbox import DecisionTreeRegressor
+from repro.graphs.profiling import GraphProfile
+from repro.sampling.expectation import saturating_expectation, tree_growth_bound
+
+__all__ = ["GrayBoxBatchSizeModel", "BlackBoxBatchSizeModel", "analytic_batch_size"]
+
+
+def _effective_fanouts(config: TrainingConfig) -> list[float]:
+    """Per-hop expected fanout of the configured sampler (Eq. 2/3 view)."""
+    if config.sampler == "saint":
+        # Subgraph sampling = many hops, single-neighbour fanout.
+        return [1.0] * (2 * len(config.hop_list))
+    if config.sampler == "fastgcn":
+        # Layer budget Δ_l = k_l * |B0| => effective fanout relative to the
+        # previous layer per Eq. 3.
+        profile: list[float] = []
+        prev = float(config.batch_size)
+        for k in config.hop_list:
+            delta = float(k * config.batch_size)
+            profile.append(delta / prev)
+            prev = delta
+        return profile
+    return [float(k) for k in config.hop_list]
+
+
+def analytic_batch_size(config: TrainingConfig, profile: GraphProfile) -> float:
+    """Closed-form prior: saturating tree-growth expectation on this graph."""
+    fanouts = _effective_fanouts(config)
+    # Fanout beyond a vertex's degree cannot expand further; clip by the
+    # graph's average degree, the dominant first-order overlap effect.
+    clipped = [min(k, profile.avg_degree) for k in fanouts]
+    bound = tree_growth_bound(config.batch_size, clipped)
+    return float(saturating_expectation(bound, profile.num_nodes))
+
+
+def _correction_features(
+    config: TrainingConfig, profile: GraphProfile
+) -> np.ndarray:
+    """Features explaining where the analytic prior is off."""
+    fanouts = _effective_fanouts(config)
+    sampler_onehot = [1.0 if config.sampler == s else 0.0 for s in SAMPLER_NAMES]
+    return np.array(
+        [
+            np.log1p(config.batch_size),
+            np.log1p(sum(fanouts)),
+            float(len(fanouts)),
+            config.bias_rate,
+            profile.avg_degree,
+            profile.degree_skew,
+            profile.powerlaw_exponent,
+            np.log1p(profile.num_nodes),
+            config.batch_size / max(profile.num_nodes, 1),
+            *sampler_onehot,
+        ],
+        dtype=np.float64,
+    )
+
+
+class GrayBoxBatchSizeModel:
+    """Eq. 12 with a learnable overlap penalty (the paper's f_overlapping)."""
+
+    def __init__(self, *, max_depth: int = 6, random_state: int = 0) -> None:
+        self._tree = DecisionTreeRegressor(
+            max_depth=max_depth, min_samples_leaf=3, random_state=random_state
+        )
+        self._fitted = False
+
+    def fit(
+        self,
+        configs: list[TrainingConfig],
+        profiles: list[GraphProfile],
+        measured: np.ndarray,
+    ) -> "GrayBoxBatchSizeModel":
+        measured = np.asarray(measured, dtype=np.float64)
+        if not (len(configs) == len(profiles) == measured.size):
+            raise EstimatorError("configs, profiles and targets must align")
+        x = np.stack(
+            [_correction_features(c, p) for c, p in zip(configs, profiles)]
+        )
+        prior = np.array(
+            [analytic_batch_size(c, p) for c, p in zip(configs, profiles)]
+        )
+        residual = np.log(np.maximum(measured, 1.0)) - np.log(np.maximum(prior, 1.0))
+        self._tree.fit(x, residual)
+        self._fitted = True
+        return self
+
+    def predict(
+        self, configs: list[TrainingConfig], profiles: list[GraphProfile]
+    ) -> np.ndarray:
+        if not self._fitted:
+            raise EstimatorError("predict() before fit()")
+        x = np.stack(
+            [_correction_features(c, p) for c, p in zip(configs, profiles)]
+        )
+        prior = np.array(
+            [analytic_batch_size(c, p) for c, p in zip(configs, profiles)]
+        )
+        correction = self._tree.predict(x)
+        pred = prior * np.exp(correction)
+        caps = np.array([p.num_nodes for p in profiles], dtype=np.float64)
+        return np.minimum(pred, caps)
+
+
+class BlackBoxBatchSizeModel:
+    """Pure decision-tree baseline of Fig. 5(b): features → |V_i| directly."""
+
+    def __init__(self, *, max_depth: int = 6, random_state: int = 0) -> None:
+        self._tree = DecisionTreeRegressor(
+            max_depth=max_depth, min_samples_leaf=3, random_state=random_state
+        )
+        self._fitted = False
+
+    @staticmethod
+    def _features(config: TrainingConfig, profile: GraphProfile) -> np.ndarray:
+        return np.concatenate([config.as_features(), profile.as_features()])
+
+    def fit(
+        self,
+        configs: list[TrainingConfig],
+        profiles: list[GraphProfile],
+        measured: np.ndarray,
+    ) -> "BlackBoxBatchSizeModel":
+        x = np.stack([self._features(c, p) for c, p in zip(configs, profiles)])
+        self._tree.fit(x, np.asarray(measured, dtype=np.float64))
+        self._fitted = True
+        return self
+
+    def predict(
+        self, configs: list[TrainingConfig], profiles: list[GraphProfile]
+    ) -> np.ndarray:
+        if not self._fitted:
+            raise EstimatorError("predict() before fit()")
+        x = np.stack([self._features(c, p) for c, p in zip(configs, profiles)])
+        return self._tree.predict(x)

@@ -1,0 +1,211 @@
+"""Black-box regressors: CART decision tree and a bagged random forest.
+
+The paper's estimator uses "black-box models based on machine learning" for
+the key intermediate variables, and Fig. 5(b) names Decision Tree Regression
+as the pure black-box baseline.  scikit-learn is unavailable offline, so this
+module implements CART (variance-reduction splits) and bootstrap-aggregated
+forests over numpy directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimatorError
+
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a prediction, splits carry children."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(
+    x: np.ndarray, y: np.ndarray, feature_ids: np.ndarray, min_leaf: int
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, sse) over candidate features, or None.
+
+    Uses the classic sorted prefix-sum scan: for each candidate feature the
+    children's SSE at every cut position is computed in O(n) after sorting.
+    """
+    n = y.size
+    best: tuple[int, float, float] | None = None
+    y_sum = y.sum()
+    y_sq = (y**2).sum()
+    parent_sse = y_sq - y_sum**2 / n
+    for f in feature_ids:
+        order = np.argsort(x[:, f], kind="stable")
+        xs = x[order, f]
+        ys = y[order]
+        csum = np.cumsum(ys)
+        csq = np.cumsum(ys**2)
+        # Valid cut after position i (1-based left size i+1).
+        left_n = np.arange(1, n)
+        valid = (xs[1:] != xs[:-1]) & (left_n >= min_leaf) & (n - left_n >= min_leaf)
+        if not np.any(valid):
+            continue
+        ls, lq = csum[:-1], csq[:-1]
+        rs, rq = y_sum - ls, y_sq - lq
+        sse = (lq - ls**2 / left_n) + (rq - rs**2 / (n - left_n))
+        sse = np.where(valid, sse, np.inf)
+        i = int(np.argmin(sse))
+        if sse[i] < parent_sse - 1e-12 and np.isfinite(sse[i]):
+            threshold = 0.5 * (xs[i] + xs[i + 1])
+            if best is None or sse[i] < best[2]:
+                best = (int(f), float(threshold), float(sse[i]))
+    return best
+
+
+class DecisionTreeRegressor:
+    """CART regression tree minimising within-leaf variance."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise EstimatorError("max_depth must be at least 1")
+        if min_samples_leaf < 1:
+            raise EstimatorError("min_samples_leaf must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(random_state)
+        self._root: _Node | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.ndim != 2 or x.shape[0] != y.size:
+            raise EstimatorError("x must be (n_samples, n_features) matching y")
+        if y.size == 0:
+            raise EstimatorError("cannot fit on an empty dataset")
+        self.n_features_ = x.shape[1]
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or y.size < 2 * self.min_samples_leaf:
+            return node
+        if np.allclose(y, y[0]):
+            return node
+        n_feat = x.shape[1]
+        if self.max_features is not None and self.max_features < n_feat:
+            feature_ids = self._rng.choice(n_feat, self.max_features, replace=False)
+        else:
+            feature_ids = np.arange(n_feat)
+        split = _best_split(x, y, feature_ids, self.min_samples_leaf)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = x[:, feature] <= threshold
+        # Non-finite feature values (e.g. an infinite power-law exponent on a
+        # degenerate graph) can push every sample to one side; fall back to a
+        # leaf rather than recurse on an empty child.
+        if not np.isfinite(threshold) or mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise EstimatorError("predict() before fit()")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[1] != self.n_features_:
+            raise EstimatorError(
+                f"expected {self.n_features_} features, got {x.shape[1]}"
+            )
+        out = np.empty(x.shape[0], dtype=np.float64)
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise EstimatorError("depth() before fit()")
+        return walk(self._root)
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated CART trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        *,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        max_features: float = 0.7,
+        random_state: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise EstimatorError("need at least one tree")
+        if not 0.0 < max_features <= 1.0:
+            raise EstimatorError("max_features must lie in (0, 1]")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._trees: list[DecisionTreeRegressor] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.ndim != 2 or x.shape[0] != y.size:
+            raise EstimatorError("x must be (n_samples, n_features) matching y")
+        rng = np.random.default_rng(self.random_state)
+        n = y.size
+        k = max(1, int(round(self.max_features * x.shape[1])))
+        self._trees = []
+        for t in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=k,
+                random_state=self.random_state + 1000 + t,
+            )
+            tree.fit(x[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise EstimatorError("predict() before fit()")
+        preds = np.stack([tree.predict(x) for tree in self._trees])
+        return preds.mean(axis=0)

@@ -1,0 +1,68 @@
+"""Feature encodings shared by every estimator component.
+
+The estimator's inputs (Fig. 4) are the candidate's reconfigurable settings
+plus the pre-determined settings — graph profile and hardware.  This module
+turns a ``(config, graph_profile, platform)`` triple into a flat vector with
+stable column names so trees trained on one dataset transfer to another
+(leave-one-dataset-out protocol of Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.settings import TrainingConfig
+from repro.graphs.profiling import GraphProfile
+from repro.hardware.specs import Platform
+
+__all__ = ["encode", "encode_names", "encode_records"]
+
+
+def encode(
+    config: TrainingConfig, profile: GraphProfile, platform: Platform
+) -> np.ndarray:
+    """Full candidate + pre-determined-settings feature vector.
+
+    Non-finite entries (a degenerate graph can yield an infinite power-law
+    exponent) are clamped so tree thresholds stay finite.
+    """
+    raw = np.concatenate(
+        [
+            config.as_features(),
+            profile.as_features(),
+            np.asarray(platform.as_features(), dtype=np.float64),
+        ]
+    )
+    return np.nan_to_num(raw, nan=0.0, posinf=1e12, neginf=-1e12)
+
+
+def encode_names() -> list[str]:
+    """Column names aligned with :func:`encode`."""
+    return (
+        TrainingConfig.feature_names()
+        + [
+            "graph_nodes",
+            "graph_edges",
+            "graph_feature_dim",
+            "graph_avg_degree",
+            "graph_max_degree",
+            "graph_degree_std",
+            "graph_degree_skew",
+            "graph_powerlaw_exp",
+            "graph_homophily",
+            "graph_separability",
+        ]
+        + [
+            "host_cores",
+            "host_sample_rate",
+            "device_memory",
+            "device_tflops",
+            "device_bandwidth",
+            "link_effective_bw",
+        ]
+    )
+
+
+def encode_records(records) -> np.ndarray:
+    """Stack :class:`~repro.runtime.profiler.GroundTruthRecord` features."""
+    return np.stack([r.features() for r in records])

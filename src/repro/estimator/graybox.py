@@ -1,0 +1,427 @@
+"""The gray-box performance estimator (paper Sec. 3.3, Fig. 4).
+
+White box: the analytic skeleton of Eqs. 4-10 — phase times from the platform
+cost model, memory from the Eq. 9 decomposition, epoch time from the Eq. 4
+host/device overlap — evaluated on *predicted* intermediate variables.
+
+Black box: small learned models for exactly the quantities the paper calls
+"key intermediate variables": the mini-batch size E[|V_i|] (Eq. 12 wrapper),
+the batch edge count, the cache hit rate, per-phase multiplicative residuals
+(the learnable parts of ``f_sample``/``f_transfer``/``f_replace``/
+``f_compute``), and the accuracy model of Eq. 11.
+
+:class:`BlackBoxEstimator` maps raw features straight to the targets — the
+baseline the ablation bench compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.settings import TaskSpec, TrainingConfig
+from repro.errors import EstimatorError
+from repro.estimator.accuracy import AccuracyModel
+from repro.estimator.batchsize import BlackBoxBatchSizeModel, GrayBoxBatchSizeModel
+from repro.estimator.blackbox import DecisionTreeRegressor, RandomForestRegressor
+from repro.estimator.features import encode
+from repro.graphs.profiling import GraphProfile
+from repro.hardware.costmodel import (
+    batch_time,
+    model_costing,
+    t_compute,
+    t_replace,
+    t_sample,
+    t_transfer,
+)
+from repro.hardware.memory import gamma_cache, gamma_model, gamma_runtime
+from repro.hardware.specs import Platform, get_platform
+from repro.nn.models import count_parameters
+
+__all__ = ["PredictedPerf", "GrayBoxEstimator", "BlackBoxEstimator"]
+
+
+@dataclass(frozen=True)
+class PredictedPerf:
+    """Estimator output for one candidate: ``Perf(T, Γ, Acc)``."""
+
+    time_s: float
+    memory_bytes: float
+    accuracy: float
+
+    def objective_vector(self) -> np.ndarray:
+        """(T, Γ, -Acc), all minimised — mirrors PerfReport."""
+        return np.array(
+            [self.time_s, self.memory_bytes, -self.accuracy], dtype=np.float64
+        )
+
+
+def _hit_features(config: TrainingConfig, profile: GraphProfile) -> np.ndarray:
+    """Inputs explaining the average cache hit rate."""
+    policies = ("none", "static", "fifo", "lru")
+    return np.array(
+        [
+            config.cache_ratio,
+            config.bias_rate,
+            1.0 if config.batch_order == "partition" else 0.0,
+            config.batch_size / max(profile.num_nodes, 1),
+            profile.degree_skew,
+            profile.avg_degree,
+            *[1.0 if config.cache_policy == p else 0.0 for p in policies],
+            1.0 if config.sampler == "biased" else 0.0,
+            1.0 if config.sampler == "saint" else 0.0,
+        ],
+        dtype=np.float64,
+    )
+
+
+class GrayBoxEstimator:
+    """Analytic Eqs. 4-10 driven by learned intermediate variables."""
+
+    _PHASES = ("sample", "transfer", "replace", "compute")
+
+    def __init__(
+        self,
+        *,
+        train_frac: float = 0.6,
+        use_residuals: bool = True,
+        random_state: int = 0,
+    ) -> None:
+        self.train_frac = train_frac
+        self.use_residuals = use_residuals
+        self._batch_model = GrayBoxBatchSizeModel(random_state=random_state)
+        self._edge_model = DecisionTreeRegressor(
+            max_depth=6, min_samples_leaf=3, random_state=random_state + 1
+        )
+        self._hit_model = DecisionTreeRegressor(
+            max_depth=6, min_samples_leaf=3, random_state=random_state + 2
+        )
+        self._residual_models: dict[str, DecisionTreeRegressor] = {
+            phase: DecisionTreeRegressor(
+                max_depth=4, min_samples_leaf=4, random_state=random_state + 3 + i
+            )
+            for i, phase in enumerate(self._PHASES)
+        }
+        self._memory_residual = DecisionTreeRegressor(
+            max_depth=4, min_samples_leaf=4, random_state=random_state + 9
+        )
+        self._acc_model = AccuracyModel(random_state=random_state + 10)
+        # The estimator is fitted per architecture (records share one arch);
+        # the cost/memory analytics read it when evaluating candidates.
+        self._arch = "sage"
+        self._fitted = False
+
+    # -------------------------------------------------------------- analytics
+    def _analytic_phases(
+        self,
+        config: TrainingConfig,
+        profile: GraphProfile,
+        platform: Platform,
+        v_hat: float,
+        e_hat: float,
+        hit_hat: float,
+    ) -> dict[str, float]:
+        """White-box per-batch phase times at the predicted intermediates."""
+        missed = v_hat * (1.0 - hit_hat)
+        # Dynamic policies admit roughly what they miss; static admits none.
+        dynamic = config.cache_policy in ("fifo", "lru")
+        admitted = missed if dynamic else 0.0
+        costing = model_costing(
+            self._arch,
+            int(v_hat),
+            int(e_hat),
+            in_dim=profile.feature_dim,
+            hidden_dim=config.hidden_channels,
+            out_dim=max(profile.num_classes, 2),
+            num_layers=config.num_layers,
+            heads=config.heads,
+        )
+        return {
+            "sample": t_sample(
+                max(int(v_hat) - config.batch_size, 0),
+                platform,
+                edges_touched=int(e_hat),
+            ),
+            "transfer": t_transfer(int(missed), profile.feature_dim, platform),
+            "replace": t_replace(
+                int(admitted), int(admitted), profile.feature_dim, platform
+            ),
+            "compute": t_compute(costing, platform),
+        }
+
+    def _num_iters(self, config: TrainingConfig, profile: GraphProfile) -> int:
+        train_nodes = int(self.train_frac * profile.num_nodes)
+        return max(1, -(-train_nodes // config.batch_size))
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, records) -> "GrayBoxEstimator":
+        """Fit every learned component from ground-truth records."""
+        if len(records) < 8:
+            raise EstimatorError("need at least 8 ground-truth records")
+        configs = [r.config for r in records]
+        profiles = [r.graph_profile for r in records]
+        self._arch = records[0].task.arch
+
+        measured_v = np.array([r.mean_batch_nodes for r in records])
+        measured_e = np.array([r.mean_batch_edges for r in records])
+        measured_hit = np.array([r.hit_rate for r in records])
+
+        self._batch_model.fit(configs, profiles, measured_v)
+        # Edges per node regress on degree/config features (log-ratio).
+        xe = np.stack(
+            [self._edge_features(c, p) for c, p in zip(configs, profiles)]
+        )
+        self._edge_model.fit(xe, np.log(measured_e / np.maximum(measured_v, 1.0)))
+        self._hit_model.fit(
+            np.stack([_hit_features(c, p) for c, p in zip(configs, profiles)]),
+            measured_hit,
+        )
+
+        if self.use_residuals:
+            self._fit_residuals(records, configs, profiles)
+        self._acc_model.fit(records)
+        self._fitted = True
+        return self
+
+    @staticmethod
+    def _edge_features(config: TrainingConfig, profile: GraphProfile) -> np.ndarray:
+        return np.array(
+            [
+                profile.avg_degree,
+                profile.degree_skew,
+                profile.powerlaw_exponent,
+                float(sum(config.hop_list)),
+                float(len(config.hop_list)),
+                config.bias_rate,
+                config.batch_size / max(profile.num_nodes, 1),
+                1.0 if config.sampler == "saint" else 0.0,
+                1.0 if config.sampler == "fastgcn" else 0.0,
+            ],
+            dtype=np.float64,
+        )
+
+    def _fit_residuals(self, records, configs, profiles) -> None:
+        """Learn log-ratio corrections measured/analytic per phase."""
+        v_hat = self._batch_model.predict(configs, profiles)
+        e_hat = v_hat * np.exp(
+            self._edge_model.predict(
+                np.stack([self._edge_features(c, p) for c, p in zip(configs, profiles)])
+            )
+        )
+        hit_hat = np.clip(
+            self._hit_model.predict(
+                np.stack([_hit_features(c, p) for c, p in zip(configs, profiles)])
+            ),
+            0.0,
+            1.0,
+        )
+        feats = np.stack(
+            [
+                encode(r.config, r.graph_profile, get_platform(r.task.platform))
+                for r in records
+            ]
+        )
+        measured = {
+            "sample": np.array([r.t_sample for r in records]),
+            "transfer": np.array([r.t_transfer for r in records]),
+            "replace": np.array([r.t_replace for r in records]),
+            "compute": np.array([r.t_compute for r in records]),
+        }
+        floor = 1e-7
+        for phase, model in self._residual_models.items():
+            analytic = np.array(
+                [
+                    self._analytic_phases(
+                        c, p, get_platform(r.task.platform), v, e, h
+                    )[phase]
+                    for c, p, r, v, e, h in zip(
+                        configs, profiles, records, v_hat, e_hat, hit_hat
+                    )
+                ]
+            )
+            ratio = np.log(
+                np.maximum(measured[phase], floor) / np.maximum(analytic, floor)
+            )
+            model.fit(feats, ratio)
+
+        analytic_mem = np.array(
+            [
+                self._analytic_memory(c, p, v, e)
+                for c, p, v, e in zip(configs, profiles, v_hat, e_hat)
+            ]
+        )
+        measured_mem = np.array([r.memory_bytes for r in records])
+        self._memory_residual.fit(feats, np.log(measured_mem / analytic_mem))
+
+    def _analytic_memory(
+        self,
+        config: TrainingConfig,
+        profile: GraphProfile,
+        v_hat: float,
+        e_hat: float,
+    ) -> float:
+        params = count_parameters(
+            self._arch,
+            profile.feature_dim,
+            max(profile.num_classes, 2),
+            hidden_channels=config.hidden_channels,
+            num_layers=config.num_layers,
+            heads=config.heads,
+        )
+        capacity = int(config.cache_ratio * profile.num_nodes)
+        return (
+            gamma_model(params)
+            + gamma_cache(capacity, profile.feature_dim)
+            + gamma_runtime(
+                int(v_hat),
+                int(e_hat),
+                n_attr=profile.feature_dim,
+                hidden_dim=config.hidden_channels,
+                out_dim=max(profile.num_classes, 2),
+                num_layers=config.num_layers,
+                heads=config.heads,
+                attention=self._arch == "gat",
+            )
+        )
+
+    # --------------------------------------------------------------- predict
+    def predict(
+        self,
+        configs: list[TrainingConfig],
+        profiles: list[GraphProfile],
+        platform: Platform | str = "rtx4090",
+    ) -> list[PredictedPerf]:
+        """Estimate ``Perf(T, Γ, Acc)`` for each candidate (no execution)."""
+        if not self._fitted:
+            raise EstimatorError("predict() before fit()")
+        if isinstance(platform, str):
+            platform = get_platform(platform)
+        configs = [c.canonical() for c in configs]
+
+        v_hat = self._batch_model.predict(configs, profiles)
+        e_hat = v_hat * np.exp(
+            self._edge_model.predict(
+                np.stack([self._edge_features(c, p) for c, p in zip(configs, profiles)])
+            )
+        )
+        hit_hat = np.clip(
+            self._hit_model.predict(
+                np.stack([_hit_features(c, p) for c, p in zip(configs, profiles)])
+            ),
+            0.0,
+            1.0,
+        )
+        acc_hat = self._acc_model.predict(configs, profiles, v_hat, e_hat)
+
+        feats = np.stack(
+            [encode(c, p, platform) for c, p in zip(configs, profiles)]
+        )
+        corrections = {
+            phase: (
+                np.exp(model.predict(feats))
+                if self.use_residuals
+                else np.ones(len(configs))
+            )
+            for phase, model in self._residual_models.items()
+        }
+        mem_corr = (
+            np.exp(self._memory_residual.predict(feats))
+            if self.use_residuals
+            else np.ones(len(configs))
+        )
+
+        out: list[PredictedPerf] = []
+        for i, (config, profile) in enumerate(zip(configs, profiles)):
+            phases = self._analytic_phases(
+                config, profile, platform, v_hat[i], e_hat[i], hit_hat[i]
+            )
+            per_batch = batch_time(
+                phases["sample"] * corrections["sample"][i],
+                phases["transfer"] * corrections["transfer"][i],
+                phases["replace"] * corrections["replace"][i],
+                phases["compute"] * corrections["compute"][i],
+            )
+            time_s = self._num_iters(config, profile) * per_batch
+            memory = self._analytic_memory(config, profile, v_hat[i], e_hat[i])
+            out.append(
+                PredictedPerf(
+                    time_s=float(time_s),
+                    memory_bytes=float(memory * mem_corr[i]),
+                    accuracy=float(acc_hat[i]),
+                )
+            )
+        return out
+
+    # Convenience accessors used by benches/tests.
+    def predict_batch_sizes(self, configs, profiles) -> np.ndarray:
+        """E[|V_i|] predictions (Fig. 5a series)."""
+        return self._batch_model.predict([c.canonical() for c in configs], profiles)
+
+
+class BlackBoxEstimator:
+    """Feature → target forests with no analytic structure (ablation baseline)."""
+
+    def __init__(self, *, random_state: int = 0) -> None:
+        self._models = {
+            "time": RandomForestRegressor(
+                n_estimators=20, max_depth=7, random_state=random_state
+            ),
+            "memory": RandomForestRegressor(
+                n_estimators=20, max_depth=7, random_state=random_state + 1
+            ),
+            "accuracy": RandomForestRegressor(
+                n_estimators=20, max_depth=7, random_state=random_state + 2
+            ),
+        }
+        self._batch_model: BlackBoxBatchSizeModel | None = None
+        self._fitted = False
+
+    def fit(self, records) -> "BlackBoxEstimator":
+        if len(records) < 8:
+            raise EstimatorError("need at least 8 ground-truth records")
+        feats = np.stack([r.features() for r in records])
+        self._models["time"].fit(feats, np.log(np.array([r.time_s for r in records])))
+        self._models["memory"].fit(
+            feats, np.log(np.array([r.memory_bytes for r in records]))
+        )
+        self._models["accuracy"].fit(
+            feats, np.array([r.accuracy for r in records])
+        )
+        self._batch_model = BlackBoxBatchSizeModel()
+        self._batch_model.fit(
+            [r.config for r in records],
+            [r.graph_profile for r in records],
+            np.array([r.mean_batch_nodes for r in records]),
+        )
+        self._fitted = True
+        return self
+
+    def predict(
+        self,
+        configs: list[TrainingConfig],
+        profiles: list[GraphProfile],
+        platform: Platform | str = "rtx4090",
+    ) -> list[PredictedPerf]:
+        if not self._fitted:
+            raise EstimatorError("predict() before fit()")
+        if isinstance(platform, str):
+            platform = get_platform(platform)
+        feats = np.stack(
+            [encode(c.canonical(), p, platform) for c, p in zip(configs, profiles)]
+        )
+        times = np.exp(self._models["time"].predict(feats))
+        mems = np.exp(self._models["memory"].predict(feats))
+        accs = np.clip(self._models["accuracy"].predict(feats), 0.0, 1.0)
+        return [
+            PredictedPerf(time_s=float(t), memory_bytes=float(m), accuracy=float(a))
+            for t, m, a in zip(times, mems, accs)
+        ]
+
+    def predict_batch_sizes(self, configs, profiles) -> np.ndarray:
+        """|V_i| from the raw black-box tree (Fig. 5b series)."""
+        if self._batch_model is None:
+            raise EstimatorError("predict_batch_sizes() before fit()")
+        return self._batch_model.predict(
+            [c.canonical() for c in configs], profiles
+        )

@@ -1,0 +1,91 @@
+"""Figure 1 — profiling existing GNN training frameworks.
+
+(a) PaGraph's speedup/memory trade-off: epoch time falls and memory rises as
+    the static cache grows (the paper sweeps memory consumption 1426-1759 MiB
+    against epoch times 8→1.3 s).
+(b) 2PGraph vs PaGraph: per-epoch time and training accuracy — 2PGraph is
+    ~2.45x faster per epoch but converges ~3% lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.settings import TaskSpec
+from repro.config.templates import get_template
+from repro.runtime.backend import RuntimeBackend
+
+__all__ = ["Fig1aPoint", "Fig1bCurve", "run_fig1a", "run_fig1b"]
+
+
+@dataclass(frozen=True)
+class Fig1aPoint:
+    """One cache-ratio setting of PaGraph: its memory and epoch time."""
+
+    cache_ratio: float
+    memory_mib: float
+    epoch_time_ms: float
+    hit_rate: float
+
+
+@dataclass(frozen=True)
+class Fig1bCurve:
+    """Per-epoch trajectory of one framework."""
+
+    method: str
+    epoch_times_ms: list[float]
+    accuracies: list[float]
+    final_accuracy: float
+
+
+def run_fig1a(
+    *,
+    dataset: str = "reddit2",
+    arch: str = "sage",
+    epochs: int = 3,
+    cache_ratios: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 0.75),
+) -> list[Fig1aPoint]:
+    """Sweep PaGraph's static cache ratio (Fig. 1a trade-off curve)."""
+    task = TaskSpec(dataset=dataset, arch=arch, epochs=epochs)
+    points: list[Fig1aPoint] = []
+    for ratio in cache_ratios:
+        config = get_template(
+            "pagraph_full", cache_ratio=ratio,
+            cache_policy="static" if ratio > 0 else "none",
+        )
+        report = RuntimeBackend(task, config).train()
+        points.append(
+            Fig1aPoint(
+                cache_ratio=ratio,
+                memory_mib=report.memory.total / 1024**2,
+                epoch_time_ms=report.time_s * 1e3,
+                hit_rate=report.mean_hit_rate,
+            )
+        )
+    return points
+
+
+def run_fig1b(
+    *,
+    dataset: str = "reddit2",
+    arch: str = "sage",
+    epochs: int = 6,
+) -> list[Fig1bCurve]:
+    """PaGraph vs 2PGraph epoch-time/accuracy curves (Fig. 1b).
+
+    The paper's 2.45x epoch-time gap is measured against PaGraph in the
+    memory-constrained regime, so the PaGraph side uses the Pa-Low template.
+    """
+    task = TaskSpec(dataset=dataset, arch=arch, epochs=epochs)
+    curves: list[Fig1bCurve] = []
+    for method in ("pagraph_low", "2pgraph"):
+        report = RuntimeBackend(task, get_template(method)).train()
+        curves.append(
+            Fig1bCurve(
+                method=method,
+                epoch_times_ms=[e.time_s * 1e3 for e in report.epochs],
+                accuracies=[e.val_accuracy for e in report.epochs],
+                final_accuracy=report.accuracy,
+            )
+        )
+    return curves

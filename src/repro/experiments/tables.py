@@ -1,0 +1,40 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_ratio", "format_delta_pct"]
+
+
+def render_table(
+    headers: list[str], rows: list[list[str]], *, title: str = ""
+) -> str:
+    """Fixed-width text table (the benches print these, mirroring the paper)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_ratio(value: float, baseline: float) -> str:
+    """Speedup annotation like the paper's ``5.44(1.7x↑)``."""
+    if value <= 0 or baseline <= 0:
+        return "n/a"
+    return f"{baseline / value:.1f}x"
+
+
+def format_delta_pct(value: float, baseline: float) -> str:
+    """Relative change annotation like ``(69.1%↑)`` / ``(29.7%↓)``."""
+    if baseline == 0:
+        return "n/a"
+    delta = (value - baseline) / baseline * 100.0
+    arrow = "+" if delta >= 0 else "-"
+    return f"{arrow}{abs(delta):.1f}%"

@@ -1,0 +1,52 @@
+"""Standard experiment tasks and method lists (paper Sec. 4.1)."""
+
+from __future__ import annotations
+
+from repro.config.settings import TaskSpec
+
+__all__ = [
+    "TABLE1_TASKS",
+    "TABLE2_DATASETS",
+    "BASELINE_METHODS",
+    "NAVIGATOR_MODES",
+    "table1_task",
+    "estimator_task",
+]
+
+#: Table 1 rows: (label, dataset, architecture) exactly as the paper groups them.
+TABLE1_TASKS: list[tuple[str, str, str]] = [
+    ("PR + SAGE", "ogbn-products", "sage"),
+    ("RD2 + SAGE", "reddit2", "sage"),
+    ("AR + GAT", "ogbn-arxiv", "gat"),
+]
+
+#: Table 2 / Fig. 5 datasets (estimator validation).
+TABLE2_DATASETS: tuple[str, ...] = ("reddit", "reddit2", "ogbn-products")
+
+#: baseline template names in paper order.
+BASELINE_METHODS: tuple[str, ...] = ("pyg", "pagraph_full", "pagraph_low", "2pgraph")
+
+#: GNNavigator priority modes in paper order.
+NAVIGATOR_MODES: tuple[str, ...] = ("balance", "ex_tm", "ex_ma", "ex_ta")
+
+#: display names matching the paper's Table 1 row labels.
+METHOD_LABELS: dict[str, str] = {
+    "pyg": "PyG",
+    "pagraph_full": "Pa-Full",
+    "pagraph_low": "Pa-Low",
+    "2pgraph": "2P",
+    "balance": "Bal",
+    "ex_tm": "Ex-TM",
+    "ex_ma": "Ex-MA",
+    "ex_ta": "Ex-TA",
+}
+
+
+def table1_task(dataset: str, arch: str, *, epochs: int = 8) -> TaskSpec:
+    """Final-measurement task: enough epochs to approach convergence."""
+    return TaskSpec(dataset=dataset, arch=arch, epochs=epochs)
+
+
+def estimator_task(dataset: str, arch: str = "sage", *, epochs: int = 4) -> TaskSpec:
+    """Ground-truth profiling task used to fit/validate estimators."""
+    return TaskSpec(dataset=dataset, arch=arch, epochs=epochs)

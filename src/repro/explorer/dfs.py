@@ -1,0 +1,207 @@
+"""Depth-first design-space exploration with constraint pruning (Sec. 3.3).
+
+The explorer walks the design space's knobs in order (the space *is* the
+search tree), consulting the performance estimator instead of executing
+candidates.  At each internal node it estimates an *optimistic completion* —
+the partial assignment finished with the per-knob values that individually
+minimise time and memory and maximise accuracy (pre-computed by sensitivity
+probing) — and prunes the subtree when even that optimist violates a runtime
+constraint.  Leaves surviving the walk are batch-estimated and returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.settings import TrainingConfig
+from repro.config.space import DesignSpace
+from repro.errors import ExplorationError
+from repro.estimator.graybox import GrayBoxEstimator, PredictedPerf
+from repro.explorer.constraints import RuntimeConstraint
+from repro.graphs.profiling import GraphProfile
+from repro.hardware.specs import Platform
+
+__all__ = ["ExplorationResult", "DFSExplorer"]
+
+#: relative slack on subtree cuts: generous, because the optimistic
+#: completion is interaction-blind and a wrong cut loses whole subtrees.
+_PRUNE_SLACK = 0.6
+#: relative slack on the final per-candidate feasibility filter.
+_FILTER_SLACK = 0.25
+#: prune only when at most this many knobs remain unassigned: the optimistic
+#: completion is probed knob-by-knob, so its bound is trustworthy near the
+#: leaves but loose near the root, where a wrong cut removes thousands of
+#: candidates at once.
+_PRUNE_MAX_REMAINING = 3
+
+
+@dataclass
+class ExplorationResult:
+    """All surviving candidates with their estimated performance."""
+
+    candidates: list[TrainingConfig]
+    predictions: list[PredictedPerf]
+    visited_leaves: int = 0
+    pruned_subtrees: int = 0
+    evaluated: int = 0
+    stats: dict = field(default_factory=dict)
+
+    def objectives(self) -> np.ndarray:
+        """Stacked (T, Γ, -Acc) rows for Pareto analysis."""
+        if not self.predictions:
+            return np.zeros((0, 3))
+        return np.stack([p.objective_vector() for p in self.predictions])
+
+
+class DFSExplorer:
+    """Estimator-guided DFS over a :class:`DesignSpace`."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        estimator: GrayBoxEstimator,
+        profile: GraphProfile,
+        platform: Platform,
+    ) -> None:
+        self.space = space
+        self.estimator = estimator
+        self.profile = profile
+        self.platform = platform
+        self._optimistic_values: dict[str, dict[str, object]] | None = None
+
+    # ----------------------------------------------------- optimistic bounds
+    def _probe_optimistic_values(self) -> dict[str, dict[str, object]]:
+        """Per-knob values that individually minimise each metric.
+
+        One-at-a-time sensitivity probe around the *centre of the space*
+        (median domain value per knob) — probing around an out-of-space base
+        config would rank knob values in contexts the search never visits.
+        The result completes partial assignments optimistically during
+        pruning.
+        """
+        if self._optimistic_values is not None:
+            return self._optimistic_values
+        centre = {
+            knob: values[len(values) // 2]
+            for knob, values in self.space.domains.items()
+        }
+        best: dict[str, dict[str, object]] = {"time": {}, "memory": {}, "accuracy": {}}
+        for knob, values in self.space.domains.items():
+            candidates = [
+                self.space.build({**centre, knob: v}) for v in values
+            ]
+            preds = self.estimator.predict(
+                candidates, [self.profile] * len(candidates), self.platform
+            )
+            times = np.array([p.time_s for p in preds])
+            mems = np.array([p.memory_bytes for p in preds])
+            accs = np.array([p.accuracy for p in preds])
+            best["time"][knob] = values[int(np.argmin(times))]
+            best["memory"][knob] = values[int(np.argmin(mems))]
+            best["accuracy"][knob] = values[int(np.argmax(accs))]
+        self._optimistic_values = best
+        return best
+
+    def _optimistic_perf(
+        self, assignment: dict[str, object], remaining: list[str]
+    ) -> PredictedPerf:
+        """Estimate the best completion of a partial assignment per metric."""
+        best = self._probe_optimistic_values()
+        configs = []
+        for metric in ("time", "memory", "accuracy"):
+            completion = dict(assignment)
+            for knob in remaining:
+                completion[knob] = best[metric][knob]
+            configs.append(self.space.build(completion))
+        preds = self.estimator.predict(
+            configs, [self.profile] * len(configs), self.platform
+        )
+        # Combine the per-metric optima into one (infeasible in itself,
+        # but a valid optimistic bound for pruning).
+        return PredictedPerf(
+            time_s=preds[0].time_s,
+            memory_bytes=preds[1].memory_bytes,
+            accuracy=preds[2].accuracy,
+        )
+
+    # ------------------------------------------------------------- main walk
+    def explore(
+        self,
+        *,
+        constraint: RuntimeConstraint | None = None,
+        prune: bool = True,
+        initial_candidates: list[TrainingConfig] | None = None,
+    ) -> ExplorationResult:
+        """Run the DFS and estimate every surviving candidate.
+
+        ``initial_candidates`` (e.g. the templates of existing systems) are
+        always evaluated, guaranteeing GNNavigator never does worse than a
+        reproducible baseline — the paper's "initial set" of Fig. 4.
+        """
+        constraint = constraint or RuntimeConstraint()
+        knobs = self.space.knobs
+        survivors: list[TrainingConfig] = []
+        seen: set[TrainingConfig] = set()
+        pruned = 0
+        visited = 0
+
+        def recurse(level: int, assignment: dict) -> None:
+            nonlocal pruned, visited
+            remaining = len(knobs) - level
+            if (
+                prune
+                and not constraint.is_unbounded()
+                and 0 < remaining <= _PRUNE_MAX_REMAINING
+            ):
+                optimist = self._optimistic_perf(assignment, knobs[level:])
+                if not constraint.satisfied_by(optimist, slack=_PRUNE_SLACK):
+                    pruned += 1
+                    return
+            if level == len(knobs):
+                visited += 1
+                candidate = self.space.build(assignment)
+                if candidate not in seen:
+                    seen.add(candidate)
+                    survivors.append(candidate)
+                return
+            knob = knobs[level]
+            for value in self.space.domains[knob]:
+                assignment[knob] = value
+                recurse(level + 1, assignment)
+            del assignment[knob]
+
+        recurse(0, {})
+
+        for extra in initial_candidates or []:
+            canonical = extra.canonical()
+            if canonical not in seen:
+                seen.add(canonical)
+                survivors.append(canonical)
+
+        if not survivors:
+            raise ExplorationError(
+                f"no candidate satisfies the constraints ({constraint.describe()})"
+            )
+        predictions = self.estimator.predict(
+            survivors, [self.profile] * len(survivors), self.platform
+        )
+        # Final feasibility filter on the leaf estimates themselves.
+        keep = [
+            i
+            for i, p in enumerate(predictions)
+            if constraint.satisfied_by(p, slack=_FILTER_SLACK)
+        ]
+        if not keep:
+            raise ExplorationError(
+                f"all candidates violate the constraints ({constraint.describe()})"
+            )
+        return ExplorationResult(
+            candidates=[survivors[i] for i in keep],
+            predictions=[predictions[i] for i in keep],
+            visited_leaves=visited,
+            pruned_subtrees=pruned,
+            evaluated=len(survivors),
+            stats={"feasible": len(keep)},
+        )

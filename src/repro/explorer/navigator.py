@@ -1,0 +1,156 @@
+"""The GNNavigator facade: Steps 1-3 of Fig. 2 end to end.
+
+Given a task (dataset + model + platform + requirements):
+
+1. **Input analysis** — profile the graph, resolve the platform, gather the
+   pre-determined settings.
+2. **Automatic guideline generation** — profile a sample of the design space
+   on the runtime backend to fit the gray-box estimator (the paper trains on
+   ground truth "covering the whole design space"; the sample size is the
+   budget knob), then run the constraint-pruned DFS and the decision maker.
+3. **Training** — apply a guideline on the reconfigurable backend and return
+   the measured ``Perf(T, Γ, Acc)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.settings import TaskSpec, TrainingConfig
+from repro.config.space import DesignSpace, default_space
+from repro.config.templates import TEMPLATES
+from repro.errors import ExplorationError
+from repro.estimator.graybox import GrayBoxEstimator
+from repro.explorer.constraints import RuntimeConstraint
+from repro.explorer.decision import DecisionMaker, Guideline
+from repro.explorer.dfs import DFSExplorer, ExplorationResult
+from repro.explorer.objectives import PRIORITY_PRESETS, ExploreTarget, get_target
+from repro.graphs.csr import CSRGraph
+from repro.graphs.datasets import load_dataset
+from repro.graphs.profiling import GraphProfile, profile_graph
+from repro.hardware.specs import Platform, get_platform
+from repro.runtime.backend import RuntimeBackend
+from repro.runtime.profiler import GroundTruthRecord, profile_configs
+from repro.runtime.report import PerfReport
+
+__all__ = ["GNNavigator", "NavigatorReport"]
+
+
+@dataclass
+class NavigatorReport:
+    """Everything one navigation run produced."""
+
+    task: TaskSpec
+    guidelines: dict[str, Guideline]
+    exploration: ExplorationResult
+    num_ground_truth: int
+    profile: GraphProfile = None
+    extras: dict = field(default_factory=dict)
+
+
+class GNNavigator:
+    """Adaptive GNN training-configuration optimisation (the paper's system)."""
+
+    def __init__(
+        self,
+        task: TaskSpec,
+        *,
+        space: DesignSpace | None = None,
+        graph: CSRGraph | None = None,
+        profile_budget: int = 48,
+        profile_epochs: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if profile_budget < 8:
+            raise ExplorationError("profile_budget must be at least 8")
+        self.task = task
+        self.space = space or default_space()
+        self.graph = graph if graph is not None else load_dataset(task.dataset)
+        self.platform: Platform = get_platform(task.platform)
+        self.profile: GraphProfile = profile_graph(self.graph)
+        self.profile_budget = profile_budget
+        self.profile_epochs = profile_epochs
+        self.seed = seed
+        self.estimator: GrayBoxEstimator | None = None
+        self.records: list[GroundTruthRecord] = []
+
+    # ------------------------------------------------------------ step 2a/2b
+    def fit_estimator(
+        self, records: list[GroundTruthRecord] | None = None
+    ) -> GrayBoxEstimator:
+        """Fit the gray-box estimator (profiling a design-space sample if
+        no pre-collected ground truth is supplied)."""
+        if records is None:
+            rng = np.random.default_rng(self.seed)
+            sample = self.space.sample(self.profile_budget, rng=rng)
+            # Always include the baseline templates so the estimator sees the
+            # regions the initial set starts from.
+            sample.extend(TEMPLATES.values())
+            profile_task = TaskSpec(
+                dataset=self.task.dataset,
+                arch=self.task.arch,
+                platform=self.task.platform,
+                epochs=self.profile_epochs,
+                lr=self.task.lr,
+                seed=self.task.seed,
+                train_frac=self.task.train_frac,
+                val_frac=self.task.val_frac,
+            )
+            records = profile_configs(profile_task, sample, graph=self.graph)
+        self.records = list(records)
+        self.estimator = GrayBoxEstimator(
+            train_frac=self.task.train_frac, random_state=self.seed
+        )
+        self.estimator.fit(self.records)
+        return self.estimator
+
+    def explore(
+        self,
+        *,
+        constraint: RuntimeConstraint | None = None,
+        priorities: list[str] | None = None,
+        prune: bool = True,
+    ) -> NavigatorReport:
+        """Step 2: DFS exploration + decision making for each priority."""
+        if self.estimator is None:
+            self.fit_estimator()
+        explorer = DFSExplorer(self.space, self.estimator, self.profile, self.platform)
+        result = explorer.explore(
+            constraint=constraint,
+            prune=prune,
+            initial_candidates=list(TEMPLATES.values()),
+        )
+        decision = DecisionMaker(result)
+        targets: list[ExploreTarget] = [
+            get_target(p) for p in (priorities or sorted(PRIORITY_PRESETS))
+        ]
+        guidelines = decision.choose_all(targets)
+        return NavigatorReport(
+            task=self.task,
+            guidelines=guidelines,
+            exploration=result,
+            num_ground_truth=len(self.records),
+            profile=self.profile,
+        )
+
+    # ---------------------------------------------------------------- step 3
+    def apply(self, guideline: Guideline | TrainingConfig) -> PerfReport:
+        """Train with a guideline on the runtime backend; measured Perf."""
+        config = (
+            guideline.config if isinstance(guideline, Guideline) else guideline
+        )
+        backend = RuntimeBackend(self.task, config, graph=self.graph)
+        return backend.train()
+
+    def navigate(
+        self,
+        *,
+        constraint: RuntimeConstraint | None = None,
+        priority: str = "balance",
+    ) -> tuple[Guideline, PerfReport]:
+        """One-call convenience: explore then train the chosen guideline."""
+        report = self.explore(constraint=constraint, priorities=[priority])
+        guideline = report.guidelines[get_target(priority).name]
+        return guideline, self.apply(guideline)

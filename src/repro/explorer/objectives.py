@@ -1,0 +1,80 @@
+"""Explore targets: the user's performance priorities (Fig. 2/Fig. 4 inputs).
+
+The paper reports four priority modes in Table 1: Bal (balance all three
+metrics) and the extremes Ex-TM (time+memory), Ex-MA (memory+accuracy),
+Ex-TA (time+accuracy).  An :class:`ExploreTarget` is a weight vector over
+``(T, Γ, Acc)`` used to scalarise normalised objective vectors when the
+decision maker picks from the Pareto front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExplorationError
+
+__all__ = ["ExploreTarget", "PRIORITY_PRESETS", "get_target", "normalize_objectives"]
+
+
+@dataclass(frozen=True)
+class ExploreTarget:
+    """Weights over (time, memory, accuracy); larger = cares more."""
+
+    name: str
+    w_time: float
+    w_memory: float
+    w_accuracy: float
+
+    def __post_init__(self) -> None:
+        if min(self.w_time, self.w_memory, self.w_accuracy) < 0:
+            raise ExplorationError("weights must be non-negative")
+        if self.w_time + self.w_memory + self.w_accuracy <= 0:
+            raise ExplorationError("at least one weight must be positive")
+
+    def weights(self) -> np.ndarray:
+        w = np.array(
+            [self.w_time, self.w_memory, self.w_accuracy], dtype=np.float64
+        )
+        return w / w.sum()
+
+    def score(self, normalized: np.ndarray) -> np.ndarray:
+        """Weighted scalarisation of normalised (rows = candidates) objectives.
+
+        ``normalized`` columns are (T, Γ, -Acc) scaled to [0, 1]; lower is
+        better for every column, so lower scores win.
+        """
+        normalized = np.atleast_2d(np.asarray(normalized, dtype=np.float64))
+        if normalized.shape[1] != 3:
+            raise ExplorationError("objective vectors must have three columns")
+        return normalized @ self.weights()
+
+
+# The extreme modes keep a small weight on the de-prioritised metric so the
+# decision maker breaks ties sensibly instead of ignoring it entirely.
+PRIORITY_PRESETS: dict[str, ExploreTarget] = {
+    "balance": ExploreTarget("balance", 1.0, 1.0, 1.0),
+    "ex_tm": ExploreTarget("ex_tm", 1.0, 1.0, 0.15),
+    "ex_ma": ExploreTarget("ex_ma", 0.15, 1.0, 1.0),
+    "ex_ta": ExploreTarget("ex_ta", 1.0, 0.15, 1.0),
+}
+
+
+def get_target(name: str) -> ExploreTarget:
+    """Look up a priority preset by name."""
+    key = name.lower().replace("-", "_")
+    if key not in PRIORITY_PRESETS:
+        raise ExplorationError(
+            f"unknown priority {name!r}; known: {sorted(PRIORITY_PRESETS)}"
+        )
+    return PRIORITY_PRESETS[key]
+
+
+def normalize_objectives(objectives: np.ndarray) -> np.ndarray:
+    """Min-max normalise objective rows (T, Γ, -Acc) to [0, 1] per column."""
+    objectives = np.atleast_2d(np.asarray(objectives, dtype=np.float64))
+    lo = objectives.min(axis=0)
+    hi = objectives.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    return (objectives - lo) / span

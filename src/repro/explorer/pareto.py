@@ -1,0 +1,75 @@
+"""Pareto-front utilities over minimisation objective vectors (T, Γ, -Acc)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExplorationError
+
+__all__ = ["dominates", "pareto_mask", "pareto_front_indices", "hypervolume_2d"]
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better somewhere."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def pareto_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows (all objectives minimised).
+
+    O(n^2) pairwise check — design spaces here are thousands of points at
+    most, and clarity beats a divide-and-conquer front here.
+    """
+    objectives = np.atleast_2d(np.asarray(objectives, dtype=np.float64))
+    n = objectives.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        le = np.all(objectives <= objectives[i], axis=1)
+        lt = np.any(objectives < objectives[i], axis=1)
+        dominated_by = le & lt
+        dominated_by[i] = False
+        if np.any(dominated_by & mask):
+            mask[i] = False
+    return mask
+
+
+def pareto_front_indices(objectives: np.ndarray) -> np.ndarray:
+    """Indices of the Pareto-optimal rows, sorted by the first objective."""
+    mask = pareto_mask(objectives)
+    idx = np.nonzero(mask)[0]
+    if idx.size == 0:
+        return idx
+    order = np.argsort(np.atleast_2d(objectives)[idx, 0], kind="stable")
+    return idx[order]
+
+
+def hypervolume_2d(
+    objectives: np.ndarray, reference: np.ndarray
+) -> float:
+    """Dominated hypervolume of a 2-D front w.r.t. a reference point.
+
+    Both objectives minimised; points beyond the reference contribute
+    nothing.  Used by the exploration-quality ablation bench.
+    """
+    objectives = np.atleast_2d(np.asarray(objectives, dtype=np.float64))
+    reference = np.asarray(reference, dtype=np.float64)
+    if objectives.shape[1] != 2 or reference.shape != (2,):
+        raise ExplorationError("hypervolume_2d expects 2-D objectives")
+    pts = objectives[pareto_mask(objectives)]
+    pts = pts[np.all(pts <= reference, axis=1)]
+    if pts.size == 0:
+        return 0.0
+    pts = pts[np.argsort(pts[:, 0])]
+    volume = 0.0
+    prev_x = reference[0]
+    # Sweep right-to-left: each point adds a rectangle up to the previous x.
+    for x, y in pts[::-1]:
+        volume += (prev_x - x) * (reference[1] - y)
+        prev_x = x
+    return float(volume)

@@ -1,0 +1,52 @@
+"""Graph substrate: CSR container, synthetic datasets, profiling, partitions."""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.datasets import DATASETS, DatasetSpec, load_dataset, train_val_test_split
+from repro.graphs.generators import (
+    community_features,
+    powerlaw_community_graph,
+    powerlaw_degrees,
+    powerlaw_graph,
+)
+from repro.graphs.partition import bfs_partition, cache_priority_order, partition_locality
+from repro.graphs.profiling import (
+    GraphProfile,
+    degree_histogram,
+    edge_homophily,
+    feature_separability,
+    powerlaw_exponent_mle,
+    profile_graph,
+)
+from repro.graphs.reorder import (
+    apply_order,
+    bfs_order,
+    degree_order,
+    locality_score,
+    reorder_graph,
+)
+
+__all__ = [
+    "CSRGraph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "train_val_test_split",
+    "powerlaw_degrees",
+    "powerlaw_graph",
+    "powerlaw_community_graph",
+    "community_features",
+    "bfs_partition",
+    "partition_locality",
+    "cache_priority_order",
+    "GraphProfile",
+    "profile_graph",
+    "degree_histogram",
+    "powerlaw_exponent_mle",
+    "edge_homophily",
+    "feature_separability",
+    "degree_order",
+    "bfs_order",
+    "apply_order",
+    "locality_score",
+    "reorder_graph",
+]

@@ -1,0 +1,230 @@
+"""Compressed-sparse-row graph container.
+
+This is the ``G(V, E)`` object of the paper (Sec. 2.1).  Everything downstream
+— samplers, the device cache, the runtime backend and the performance
+estimator — consumes graphs through this structure, so it is deliberately
+small, immutable and numpy-native.
+
+The adjacency is stored once in CSR form (``indptr``/``indices``).  Node
+features and labels are optional dense arrays; samplers only need topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An undirected (symmetrised) graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_nodes + 1``; row pointer.
+    indices:
+        ``int64`` array of length ``num_edges``; column indices (neighbour
+        ids) sorted within each row.
+    features:
+        Optional ``float32`` node-feature matrix of shape
+        ``(num_nodes, feature_dim)``.
+    labels:
+        Optional ``int64`` node-label vector of length ``num_nodes``.
+    num_classes:
+        Number of distinct labels; ``0`` when the graph is unlabelled.
+    name:
+        Human-readable dataset name used in reports.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    features: np.ndarray | None = None
+    labels: np.ndarray | None = None
+    num_classes: int = 0
+    name: str = "graph"
+    _degrees: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        self._validate()
+        object.__setattr__(self, "_degrees", np.diff(self.indptr))
+
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or self.indptr.size < 1:
+            raise GraphError("indptr must be a 1-D array with at least one entry")
+        if self.indptr[0] != 0:
+            raise GraphError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if self.indptr[-1] != self.indices.size:
+            raise GraphError(
+                f"indptr[-1]={self.indptr[-1]} does not match "
+                f"len(indices)={self.indices.size}"
+            )
+        n = self.num_nodes
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= n):
+            raise GraphError("edge endpoint out of range")
+        if self.features is not None and self.features.shape[0] != n:
+            raise GraphError("features row count must equal num_nodes")
+        if self.labels is not None and self.labels.shape[0] != n:
+            raise GraphError("labels length must equal num_nodes")
+
+    # ------------------------------------------------------------------ views
+    @property
+    def num_nodes(self) -> int:
+        """Number of vertices ``|V|``."""
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edge slots ``|E|`` (twice the undirected count)."""
+        return self.indices.size
+
+    @property
+    def feature_dim(self) -> int:
+        """Attribute dimensionality ``n_attr`` (0 when featureless)."""
+        return 0 if self.features is None else self.features.shape[1]
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (cached)."""
+        return self._degrees
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbour ids of ``node`` as a read-only slice."""
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node {node} out of range [0, {self.num_nodes})")
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def degree(self, node: int) -> int:
+        """Degree of a single vertex."""
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node {node} out of range [0, {self.num_nodes})")
+        return int(self._degrees[node])
+
+    # ------------------------------------------------------------- subgraphs
+    def gather_neighborhoods(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All directed edges leaving ``nodes`` as ``(src, dst)`` arrays.
+
+        Fully vectorised; the workhorse behind samplers and subgraph
+        induction.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        starts = self.indptr[nodes]
+        counts = self._degrees[nodes]
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        offsets = np.zeros(nodes.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        flat = np.arange(total, dtype=np.int64)
+        flat += np.repeat(starts - offsets, counts)
+        return np.repeat(nodes, counts), self.indices[flat]
+
+    def induced_subgraph(self, nodes: np.ndarray) -> tuple["CSRGraph", np.ndarray]:
+        """Induced subgraph on ``nodes``.
+
+        Returns the subgraph (with rows relabelled ``0..len(nodes)-1`` in
+        sorted-global-id order, and features/labels sliced when present) and
+        the original node ids, so callers can map embeddings back.
+        """
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        if nodes.size and (nodes[0] < 0 or nodes[-1] >= self.num_nodes):
+            raise GraphError("subgraph node id out of range")
+        lookup = np.full(self.num_nodes, -1, dtype=np.int64)
+        lookup[nodes] = np.arange(nodes.size, dtype=np.int64)
+
+        src, dst = self.gather_neighborhoods(nodes)
+        keep = lookup[dst] >= 0
+        src, dst = lookup[src[keep]], lookup[dst[keep]]
+        counts = np.bincount(src, minlength=nodes.size)
+        sub_indptr = np.zeros(nodes.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=sub_indptr[1:])
+        # ``src`` is sorted because ``nodes`` is iterated in ascending order,
+        # and within each row ``dst`` stays sorted: every construction path
+        # (from_edges, generators) emits row-sorted indices and the relabel
+        # map is monotonic over the kept vertices.  No sort needed.
+        sub = CSRGraph(
+            indptr=sub_indptr,
+            indices=dst,
+            features=None if self.features is None else self.features[nodes],
+            labels=None if self.labels is None else self.labels[nodes],
+            num_classes=self.num_classes,
+            name=f"{self.name}:sub",
+        )
+        return sub, nodes
+
+    # --------------------------------------------------------------- exports
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(src, dst)`` arrays of every directed edge slot."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self._degrees)
+        return src, self.indices.copy()
+
+    def memory_bytes(self) -> int:
+        """Host memory footprint of topology + features + labels."""
+        total = self.indptr.nbytes + self.indices.nbytes
+        if self.features is not None:
+            total += self.features.nbytes
+        if self.labels is not None:
+            total += self.labels.nbytes
+        return total
+
+    @staticmethod
+    def from_edges(
+        num_nodes: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        features: np.ndarray | None = None,
+        labels: np.ndarray | None = None,
+        num_classes: int = 0,
+        name: str = "graph",
+        symmetrize: bool = True,
+    ) -> "CSRGraph":
+        """Build a graph from an edge list, deduplicating and symmetrising.
+
+        Self-loops are dropped; parallel edges collapse to one.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise GraphError("src and dst must have identical shapes")
+        if src.size and (
+            min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= num_nodes
+        ):
+            raise GraphError("edge endpoint out of range")
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        if symmetrize:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        # Deduplicate via a flat key; stable within numpy int64 for our scales.
+        key = src * np.int64(num_nodes) + dst
+        order = np.argsort(key, kind="stable")
+        key, src, dst = key[order], src[order], dst[order]
+        if key.size:
+            unique = np.concatenate([[True], key[1:] != key[:-1]])
+            src, dst = src[unique], dst[unique]
+        counts = np.bincount(src, minlength=num_nodes)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRGraph(
+            indptr=indptr,
+            indices=dst,
+            features=features,
+            labels=labels,
+            num_classes=num_classes,
+            name=name,
+        )

@@ -1,0 +1,185 @@
+"""Synthetic graph generators.
+
+The paper evaluates on Ogbn-arxiv, Ogbn-products, Reddit and Reddit2, and
+additionally augments its estimator training set with *randomly generated
+power-law graphs* (Sec. 4.1).  Offline we cannot download OGB, so both roles
+are served by the generators here:
+
+* :func:`powerlaw_community_graph` — a degree-corrected stochastic block
+  model.  Degrees follow a truncated power law (the property the estimator's
+  overlap penalty of Eq. 12 keys on) while a planted community structure
+  makes node classification genuinely learnable, so measured accuracy reacts
+  to sampler bias and batch size the way the paper's Sec. 3.3 assumes.
+* :func:`powerlaw_graph` — topology-only variant used for estimator data
+  augmentation, mirroring the paper's "randomly generate some power-law
+  graphs" enhancement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "powerlaw_degrees",
+    "powerlaw_graph",
+    "powerlaw_community_graph",
+    "community_features",
+]
+
+
+def powerlaw_degrees(
+    num_nodes: int,
+    *,
+    exponent: float = 2.2,
+    min_degree: int = 2,
+    max_degree: int | None = None,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw a truncated discrete power-law degree sequence.
+
+    ``P(k) ∝ k^-exponent`` on ``[min_degree, max_degree]``.  The sequence sum
+    is made even so it is graphical for a configuration-model pairing.
+    """
+    if num_nodes <= 0:
+        raise GraphError("num_nodes must be positive")
+    if exponent <= 1.0:
+        raise GraphError("power-law exponent must exceed 1")
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(np.sqrt(num_nodes)))
+    max_degree = min(max_degree, num_nodes - 1)
+    if min_degree > max_degree:
+        raise GraphError("min_degree exceeds max_degree")
+    ks = np.arange(min_degree, max_degree + 1, dtype=np.float64)
+    pmf = ks**-exponent
+    pmf /= pmf.sum()
+    degrees = rng.choice(ks.astype(np.int64), size=num_nodes, p=pmf)
+    if degrees.sum() % 2:
+        degrees[rng.integers(num_nodes)] += 1
+    return degrees
+
+
+def _configuration_edges(
+    degrees: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Configuration-model edge pairing from a degree sequence (stubs)."""
+    stubs = np.repeat(np.arange(degrees.size, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    half = stubs.size // 2
+    return stubs[:half], stubs[half : 2 * half]
+
+
+def powerlaw_graph(
+    num_nodes: int,
+    *,
+    exponent: float = 2.2,
+    min_degree: int = 2,
+    max_degree: int | None = None,
+    seed: int = 0,
+    name: str = "powerlaw",
+) -> CSRGraph:
+    """Topology-only power-law graph via the configuration model."""
+    rng = np.random.default_rng(seed)
+    degrees = powerlaw_degrees(
+        num_nodes,
+        exponent=exponent,
+        min_degree=min_degree,
+        max_degree=max_degree,
+        rng=rng,
+    )
+    src, dst = _configuration_edges(degrees, rng)
+    return CSRGraph.from_edges(num_nodes, src, dst, name=name)
+
+
+def community_features(
+    labels: np.ndarray,
+    num_classes: int,
+    feature_dim: int,
+    *,
+    noise: float = 1.0,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Class-centroid features: ``x_v = centroid[label_v] + noise``.
+
+    ``noise`` controls task difficulty — larger values lower the attainable
+    accuracy, which is how each synthetic dataset is tuned to land near the
+    accuracy band its real counterpart reaches in the paper.
+    """
+    centroids = rng.normal(0.0, 1.0, size=(num_classes, feature_dim))
+    feats = centroids[labels] + rng.normal(0.0, noise, size=(labels.size, feature_dim))
+    return feats.astype(np.float32)
+
+
+def powerlaw_community_graph(
+    num_nodes: int,
+    *,
+    num_classes: int = 8,
+    feature_dim: int = 64,
+    exponent: float = 2.2,
+    min_degree: int = 2,
+    max_degree: int | None = None,
+    homophily: float = 0.8,
+    feature_noise: float = 1.0,
+    seed: int = 0,
+    name: str = "powerlaw-sbm",
+) -> CSRGraph:
+    """Degree-corrected SBM with power-law degrees and planted communities.
+
+    Each stub connects within its own community with probability
+    ``homophily``, otherwise to a uniformly random community.  Higher
+    homophily makes message passing more informative (GNN accuracy rises),
+    matching how real citation/co-purchase graphs behave.
+    """
+    if not 0.0 <= homophily <= 1.0:
+        raise GraphError("homophily must lie in [0, 1]")
+    if num_classes < 2:
+        raise GraphError("need at least two classes for classification")
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=num_nodes, dtype=np.int64)
+    degrees = powerlaw_degrees(
+        num_nodes,
+        exponent=exponent,
+        min_degree=min_degree,
+        max_degree=max_degree,
+        rng=rng,
+    )
+
+    # Pair stubs inside each community for the homophilous fraction, then pair
+    # the remaining stubs globally.
+    intra_mask = rng.random(int(degrees.sum())) < homophily
+    stubs = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    intra_stubs = stubs[intra_mask[: stubs.size]]
+    inter_stubs = stubs[~intra_mask[: stubs.size]]
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for cls in range(num_classes):
+        members = intra_stubs[labels[intra_stubs] == cls]
+        half = members.size // 2
+        if half:
+            src_parts.append(members[:half])
+            dst_parts.append(members[half : 2 * half])
+    half = inter_stubs.size // 2
+    if half:
+        src_parts.append(inter_stubs[:half])
+        dst_parts.append(inter_stubs[half : 2 * half])
+    if not src_parts:
+        raise GraphError("generated graph has no edges; increase degrees")
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+
+    feats = community_features(
+        labels, num_classes, feature_dim, noise=feature_noise, rng=rng
+    )
+    return CSRGraph.from_edges(
+        num_nodes,
+        src,
+        dst,
+        features=feats,
+        labels=labels,
+        num_classes=num_classes,
+        name=name,
+    )

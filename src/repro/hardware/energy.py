@@ -1,0 +1,104 @@
+"""Energy model — an extension beyond the paper's Perf(T, Γ, Acc).
+
+The paper's introduction motivates FPGA/accelerator work by "notable
+reduction in time cost or energy consumption"; this module adds the energy
+side so deployment studies can weigh joules next to seconds.  Energy is
+derived from the same per-batch records the time model uses:
+
+* host energy   = host active power x (t_sample + t_transfer staging)
+* device energy = device active power x (t_replace + t_compute) + idle floor
+* link energy   = transferred bytes x pJ/bit figure
+
+Powers are parametric per platform class, defaulting to public TDP-level
+figures scaled by a utilisation factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.costmodel import FLOAT_BYTES
+from repro.hardware.specs import Platform
+from repro.runtime.report import BatchRecord
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]
+
+#: active-power defaults (watts) per platform name; fall back to generic.
+_POWER_TABLE: dict[str, tuple[float, float]] = {
+    # (host active W, device active W)
+    "rtx4090": (180.0, 450.0),
+    "a100": (180.0, 400.0),
+    "m90": (60.0, 75.0),
+}
+_DEFAULT_POWER = (150.0, 300.0)
+#: energy per transferred bit over PCIe-class links (picojoules).
+_LINK_PJ_PER_BIT = 15.0
+#: idle draw as a fraction of active power while the device waits.
+_IDLE_FRACTION = 0.15
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per phase for a batch, epoch or run."""
+
+    host_j: float
+    device_j: float
+    link_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.host_j + self.device_j + self.link_j
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            host_j=self.host_j + other.host_j,
+            device_j=self.device_j + other.device_j,
+            link_j=self.link_j + other.link_j,
+        )
+
+
+class EnergyModel:
+    """Charges joules to the measured per-batch phase times."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        utilization: float = 0.7,
+    ) -> None:
+        if not 0.0 < utilization <= 1.0:
+            raise HardwareError("utilization must lie in (0, 1]")
+        host_w, device_w = _POWER_TABLE.get(platform.name, _DEFAULT_POWER)
+        self.platform = platform
+        self.host_watts = host_w * utilization
+        self.device_watts = device_w * utilization
+        self.utilization = utilization
+
+    def batch_energy(self, record: BatchRecord, n_attr: int) -> EnergyBreakdown:
+        """Energy of one mini-batch iteration from its phase times."""
+        if n_attr < 0:
+            raise HardwareError("n_attr cannot be negative")
+        host_time = record.t_sample + record.t_transfer
+        device_busy = record.t_replace + record.t_compute
+        # Whichever pipeline finishes early idles until the batch ends (Eq. 4).
+        wall = record.time
+        device_idle = max(wall - device_busy, 0.0)
+        host_idle = max(wall - host_time, 0.0)
+
+        transferred_bits = record.num_missed * n_attr * FLOAT_BYTES * 8.0
+        return EnergyBreakdown(
+            host_j=self.host_watts * (host_time + _IDLE_FRACTION * host_idle),
+            device_j=self.device_watts
+            * (device_busy + _IDLE_FRACTION * device_idle),
+            link_j=transferred_bits * _LINK_PJ_PER_BIT * 1e-12,
+        )
+
+    def records_energy(
+        self, records: list[BatchRecord], n_attr: int
+    ) -> EnergyBreakdown:
+        """Total energy over a list of batch records (epoch or full run)."""
+        total = EnergyBreakdown(0.0, 0.0, 0.0)
+        for record in records:
+            total = total + self.batch_energy(record, n_attr)
+        return total

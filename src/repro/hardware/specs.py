@@ -1,0 +1,178 @@
+"""Hardware specifications: the "Hardware Info." inputs of Fig. 4.
+
+The paper trains on real CPU-GPU platforms (RTX 4090, A100, M90) linked by
+PCIe.  We replace the physical machines with parametric specifications that
+drive the analytic cost model (Eqs. 4-8) — see the substitution table in
+DESIGN.md.  Numbers are public datasheet values; ``gather_bandwidth`` models
+the *effective* host-side feature-gather + PCIe pipeline, which in measured
+GNN systems is far below the raw link rate because feature rows are scattered
+in host DRAM (the reason PaGraph-style caching pays off at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+__all__ = ["HostSpec", "DeviceSpec", "LinkSpec", "Platform", "PLATFORMS", "get_platform"]
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """General-purpose platform executing sampling and file I/O (Algo. 1)."""
+
+    name: str
+    cores: int
+    #: vertices the sampler can expand per second per core
+    sample_rate_vps: float
+    #: per-batch fixed overhead of launching a sampling task (seconds)
+    sample_overhead_s: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.sample_rate_vps <= 0:
+            raise HardwareError("host cores and sample rate must be positive")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Dedicated platform executing aggregate/combine (GPU-like)."""
+
+    name: str
+    memory_bytes: int
+    fp32_tflops: float
+    mem_bandwidth_gbps: float
+    #: fixed cost per kernel launch (seconds); batches issue several kernels
+    kernel_overhead_s: float
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise HardwareError("device memory must be positive")
+        if self.fp32_tflops <= 0 or self.mem_bandwidth_gbps <= 0:
+            raise HardwareError("device throughput values must be positive")
+
+    @property
+    def flops_per_s(self) -> float:
+        return self.fp32_tflops * 1e12
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.mem_bandwidth_gbps * 1e9
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Host-device interconnect (PCIe/DMA)."""
+
+    name: str
+    #: raw link bandwidth (GB/s)
+    pcie_bandwidth_gbps: float
+    #: effective bandwidth of gathering scattered feature rows on the host
+    #: and staging them for DMA (GB/s); the practical transfer bottleneck
+    gather_bandwidth_gbps: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.pcie_bandwidth_gbps <= 0 or self.gather_bandwidth_gbps <= 0:
+            raise HardwareError("link bandwidths must be positive")
+
+    @property
+    def effective_bytes_per_s(self) -> float:
+        """Serial gather + DMA pipeline rate."""
+        raw = self.pcie_bandwidth_gbps * 1e9
+        gather = self.gather_bandwidth_gbps * 1e9
+        return 1.0 / (1.0 / raw + 1.0 / gather)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A heterogeneous training platform: host + device + link."""
+
+    name: str
+    host: HostSpec
+    device: DeviceSpec
+    link: LinkSpec
+
+    def as_features(self) -> list[float]:
+        """Numeric encoding for black-box estimator components."""
+        return [
+            float(self.host.cores),
+            self.host.sample_rate_vps,
+            float(self.device.memory_bytes),
+            self.device.fp32_tflops,
+            self.device.mem_bandwidth_gbps,
+            self.link.effective_bytes_per_s,
+        ]
+
+
+_XEON = HostSpec(
+    name="xeon-8358", cores=32, sample_rate_vps=8.0e6, sample_overhead_s=1.0e-4
+)
+
+PLATFORMS: dict[str, Platform] = {
+    "rtx4090": Platform(
+        name="rtx4090",
+        host=_XEON,
+        device=DeviceSpec(
+            name="RTX 4090",
+            memory_bytes=24 * GIB,
+            fp32_tflops=82.6,
+            mem_bandwidth_gbps=1008.0,
+            kernel_overhead_s=8.0e-6,
+        ),
+        link=LinkSpec(
+            name="PCIe4 x16",
+            pcie_bandwidth_gbps=32.0,
+            gather_bandwidth_gbps=0.8,
+            latency_s=1.0e-5,
+        ),
+    ),
+    "a100": Platform(
+        name="a100",
+        host=_XEON,
+        device=DeviceSpec(
+            name="A100-40G",
+            memory_bytes=40 * GIB,
+            fp32_tflops=19.5,
+            mem_bandwidth_gbps=1555.0,
+            kernel_overhead_s=6.0e-6,
+        ),
+        link=LinkSpec(
+            name="PCIe4 x16",
+            pcie_bandwidth_gbps=32.0,
+            gather_bandwidth_gbps=1.0,
+            latency_s=1.0e-5,
+        ),
+    ),
+    # "M90": the paper's edge-class device; modelled as a memory-constrained
+    # mid-range accelerator on a narrower link.
+    "m90": Platform(
+        name="m90",
+        host=HostSpec(
+            name="edge-host", cores=8, sample_rate_vps=3.0e6, sample_overhead_s=2.0e-4
+        ),
+        device=DeviceSpec(
+            name="M90",
+            memory_bytes=8 * GIB,
+            fp32_tflops=10.0,
+            mem_bandwidth_gbps=400.0,
+            kernel_overhead_s=1.5e-5,
+        ),
+        link=LinkSpec(
+            name="PCIe3 x8",
+            pcie_bandwidth_gbps=8.0,
+            gather_bandwidth_gbps=0.4,
+            latency_s=2.0e-5,
+        ),
+    ),
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform by name (case-insensitive)."""
+    key = name.lower()
+    if key not in PLATFORMS:
+        raise HardwareError(f"unknown platform {name!r}; known: {sorted(PLATFORMS)}")
+    return PLATFORMS[key]

@@ -1,0 +1,27 @@
+"""GNN library: layers, models, optimizers and metrics (PyTorch substitute)."""
+
+from repro.nn.graphconv import GATConv, GCNConv, Propagation, SAGEConv
+from repro.nn.linear import Linear
+from repro.nn.metrics import accuracy, confusion_matrix, macro_f1
+from repro.nn.models import MODEL_NAMES, GNN, build_model
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Propagation",
+    "GCNConv",
+    "SAGEConv",
+    "GATConv",
+    "Linear",
+    "Module",
+    "Parameter",
+    "GNN",
+    "build_model",
+    "MODEL_NAMES",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "accuracy",
+    "confusion_matrix",
+    "macro_f1",
+]

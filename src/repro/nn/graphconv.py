@@ -1,0 +1,210 @@
+"""Graph convolution layers: GCN, GraphSAGE and GAT (Eq. 1 Aggregate/Combine).
+
+Layers consume a :class:`Propagation` — the per-mini-batch message-passing
+structure built once from a sampled subgraph and shared by all layers, so the
+normalised adjacency is not recomputed per layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.functional import leaky_relu
+from repro.autograd.sparse import normalized_adjacency, segment_softmax, spmm
+from repro.autograd.tensor import Tensor
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Propagation", "GCNConv", "SAGEConv", "GATConv"]
+
+
+class Propagation:
+    """Message-passing structure of one (sub)graph, built lazily.
+
+    ``sym``/``row`` are the GCN / mean-aggregation propagation matrices;
+    ``src``/``dst`` enumerate directed edges *including self-loops* for
+    attention layers.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, num_nodes: int) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.num_nodes = int(num_nodes)
+        self._sym: sp.csr_matrix | None = None
+        self._row: sp.csr_matrix | None = None
+        self._row_t: sp.csr_matrix | None = None
+        self._coo: tuple[np.ndarray, np.ndarray] | None = None
+
+    @classmethod
+    def from_graph(cls, graph) -> "Propagation":
+        """Build from any object with ``indptr``/``indices``/``num_nodes``."""
+        return cls(graph.indptr, graph.indices, graph.num_nodes)
+
+    @property
+    def sym(self) -> sp.csr_matrix:
+        if self._sym is None:
+            self._sym = normalized_adjacency(
+                self.indptr, self.indices, self.num_nodes, mode="sym"
+            )
+        return self._sym
+
+    @property
+    def row(self) -> sp.csr_matrix:
+        if self._row is None:
+            self._row = normalized_adjacency(
+                self.indptr, self.indices, self.num_nodes, mode="row"
+            )
+        return self._row
+
+    @property
+    def row_t(self) -> sp.csr_matrix:
+        if self._row_t is None:
+            self._row_t = self.row.T.tocsr()
+        return self._row_t
+
+    @property
+    def edges_with_loops(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._coo is None:
+            degrees = np.diff(self.indptr)
+            src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), degrees)
+            loops = np.arange(self.num_nodes, dtype=np.int64)
+            self._coo = (
+                np.concatenate([src, loops]),
+                np.concatenate([self.indices, loops]),
+            )
+        return self._coo
+
+    def edge_matrices(self) -> dict[str, sp.csr_matrix]:
+        """Gather/scatter operators over the self-loop edge list.
+
+        ``gather_src @ h`` picks per-edge source rows; ``scatter_dst @ m``
+        sums edge messages per destination.  Each matrix's transpose is the
+        other direction's operator, so spmm backward passes reuse them —
+        this keeps GAT free of slow ``np.add.at`` scatters.
+        """
+        if not hasattr(self, "_edge_mats"):
+            from repro.autograd.tensor import get_default_dtype
+
+            src, dst = self.edges_with_loops
+            n, e = self.num_nodes, src.size
+            ones = np.ones(e, dtype=get_default_dtype())
+            rows = np.arange(e, dtype=np.int64)
+            gather_src = sp.csr_matrix((ones, (rows, src)), shape=(e, n))
+            gather_dst = sp.csr_matrix((ones, (rows, dst)), shape=(e, n))
+            self._edge_mats = {
+                "gather_src": gather_src,
+                "gather_dst": gather_dst,
+                "scatter_src": gather_src.T.tocsr(),
+                "scatter_dst": gather_dst.T.tocsr(),
+            }
+        return self._edge_mats
+
+
+class GCNConv(Module):
+    """Kipf & Welling graph convolution: ``D^-1/2 Â D^-1/2 X W``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.lin = Linear(in_features, out_features, bias=True, rng=rng)
+
+    def forward(self, x: Tensor, prop: Propagation) -> Tensor:
+        return self.lin(spmm(prop.sym, x, symmetric=True))
+
+
+class SAGEConv(Module):
+    """GraphSAGE mean aggregator: ``W_self x ⊕ W_neigh mean(x_N(v))``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.lin_self = Linear(in_features, out_features, bias=True, rng=rng)
+        self.lin_neigh = Linear(in_features, out_features, bias=False, rng=rng)
+
+    def forward(self, x: Tensor, prop: Propagation) -> Tensor:
+        return self.lin_self(x) + self.lin_neigh(
+            spmm(prop.row, x, transposed=prop.row_t)
+        )
+
+
+class GATConv(Module):
+    """Graph attention layer (Velickovic et al.) with multi-head attention.
+
+    Heads are concatenated when ``concat_heads`` (hidden layers) and averaged
+    otherwise (output layer), matching the reference implementation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        heads: int = 4,
+        concat_heads: bool = True,
+        negative_slope: float = 0.2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if heads <= 0:
+            raise ValueError("heads must be positive")
+        rng = rng or np.random.default_rng()
+        self.heads = heads
+        self.out_features = out_features
+        self.concat_heads = concat_heads
+        self.negative_slope = negative_slope
+        self.weight = Parameter(
+            glorot_uniform(in_features, heads * out_features, rng=rng), name="weight"
+        )
+        self.att_src = Parameter(
+            glorot_uniform(heads, out_features, rng=rng) * 0.5, name="att_src"
+        )
+        self.att_dst = Parameter(
+            glorot_uniform(heads, out_features, rng=rng) * 0.5, name="att_dst"
+        )
+        self.bias = Parameter(
+            zeros(heads * out_features if concat_heads else out_features), name="bias"
+        )
+
+    def forward(self, x: Tensor, prop: Propagation) -> Tensor:
+        src, dst = prop.edges_with_loops
+        mats = prop.edge_matrices()
+        n = prop.num_nodes
+        h = (x @ self.weight).reshape(n, self.heads, self.out_features)
+
+        # Per-node attention terms, then per-edge logits e_uv = a_s·h_u + a_d·h_v.
+        alpha_src = (h * self.att_src).sum(axis=2)  # (n, heads)
+        alpha_dst = (h * self.att_dst).sum(axis=2)
+        logits = leaky_relu(
+            spmm(mats["gather_src"], alpha_src, transposed=mats["scatter_src"])
+            + spmm(mats["gather_dst"], alpha_dst, transposed=mats["scatter_dst"]),
+            self.negative_slope,
+        )
+        att = segment_softmax(logits, dst, n, scatter_matrix=mats["scatter_dst"])
+
+        messages = spmm(
+            mats["gather_src"],
+            h.reshape(n, self.heads * self.out_features),
+            transposed=mats["scatter_src"],
+        ).reshape(src.size, self.heads, self.out_features)
+        weighted = messages * att.reshape(src.size, self.heads, 1)
+        out = spmm(
+            mats["scatter_dst"],
+            weighted.reshape(src.size, self.heads * self.out_features),
+            transposed=mats["gather_dst"],
+        ).reshape(n, self.heads, self.out_features)
+
+        if self.concat_heads:
+            return out.reshape(n, self.heads * self.out_features) + self.bias
+        return out.mean(axis=1) + self.bias

@@ -1,0 +1,28 @@
+"""Weight initialisers (Glorot/Kaiming), seeded for reproducibility."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "kaiming_uniform", "zeros"]
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, *, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform init — the PyG default for GNN layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(
+    fan_in: int, fan_out: int, *, rng: np.random.Generator
+) -> np.ndarray:
+    """He uniform init for ReLU stacks."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """Zero array, used for biases."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,47 @@
+"""Classification metrics used when reporting ``Acc`` in Perf(T, Γ, Acc)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "macro_f1", "confusion_matrix"]
+
+
+def accuracy(log_probs: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy given per-class log-probabilities (or logits)."""
+    if log_probs.shape[0] != targets.shape[0]:
+        raise ValueError("row count mismatch between predictions and targets")
+    if log_probs.shape[0] == 0:
+        return 0.0
+    pred = log_probs.argmax(axis=1)
+    return float(np.mean(pred == targets))
+
+
+def confusion_matrix(
+    pred: np.ndarray, targets: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``C[i, j]`` = count of true class ``i`` predicted as ``j``."""
+    flat = targets.astype(np.int64) * num_classes + pred.astype(np.int64)
+    return np.bincount(flat, minlength=num_classes * num_classes).reshape(
+        num_classes, num_classes
+    )
+
+
+def macro_f1(log_probs: np.ndarray, targets: np.ndarray, num_classes: int) -> float:
+    """Unweighted mean F1 over classes (classes absent from data are skipped)."""
+    pred = log_probs.argmax(axis=1)
+    cm = confusion_matrix(pred, targets, num_classes)
+    tp = np.diag(cm).astype(np.float64)
+    support = cm.sum(axis=1)
+    predicted = cm.sum(axis=0)
+    f1s: list[float] = []
+    for c in range(num_classes):
+        if support[c] == 0:
+            continue
+        precision = tp[c] / predicted[c] if predicted[c] else 0.0
+        recall = tp[c] / support[c]
+        if precision + recall == 0:
+            f1s.append(0.0)
+        else:
+            f1s.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(f1s)) if f1s else 0.0

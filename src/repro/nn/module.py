@@ -1,0 +1,109 @@
+"""Module/Parameter system, mirroring the torch.nn idiom at small scale."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state of a :class:`Module`."""
+
+    def __init__(self, data: np.ndarray, *, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class providing parameter discovery and train/eval mode.
+
+    Subclasses assign :class:`Parameter` and sub-``Module`` instances as
+    attributes; :meth:`parameters` walks the attribute tree to find them,
+    which is all the optimizers need.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------- discovery
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter exactly once, depth-first."""
+        seen: set[int] = set()
+        yield from self._parameters(seen)
+
+    def _parameters(self, seen: set[int]) -> Iterator[Parameter]:
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter) and id(value) not in seen:
+                seen.add(id(value))
+                yield value
+            elif isinstance(value, Module):
+                yield from value._parameters(seen)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Parameter) and id(item) not in seen:
+                        seen.add(id(item))
+                        yield item
+                    elif isinstance(item, Module):
+                        yield from item._parameters(seen)
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs including self."""
+        yield prefix or type(self).__name__, self
+        for attr, value in self.__dict__.items():
+            path = f"{prefix}.{attr}" if prefix else attr
+            if isinstance(value, Module):
+                yield from value.named_modules(path)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(f"{path}[{i}]")
+
+    # ----------------------------------------------------------------- modes
+    def train(self) -> "Module":
+        """Enable training mode (dropout active) recursively."""
+        for _, module in self.named_modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Enable evaluation mode (dropout off) recursively."""
+        for _, module in self.named_modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count ``|Φ|`` (drives Γ_model, Eq. 10)."""
+        return sum(p.data.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by discovery order."""
+        return {f"param_{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (order-matched)."""
+        params = list(self.parameters())
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} entries, model has {len(params)} parameters"
+            )
+        for i, param in enumerate(params):
+            incoming = state[f"param_{i}"]
+            if incoming.shape != param.data.shape:
+                raise ValueError(f"shape mismatch on param_{i}")
+            param.data = incoming.copy()
+
+    # ------------------------------------------------------------------ call
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError

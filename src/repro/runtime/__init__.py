@@ -1,0 +1,16 @@
+"""Reconfigurable runtime backend executing Algorithm 1 on the simulated platform."""
+
+from repro.runtime.backend import RuntimeBackend, make_sampler
+from repro.runtime.profiler import GroundTruthRecord, profile_configs, profile_one
+from repro.runtime.report import BatchRecord, EpochStats, PerfReport
+
+__all__ = [
+    "RuntimeBackend",
+    "make_sampler",
+    "GroundTruthRecord",
+    "profile_configs",
+    "profile_one",
+    "BatchRecord",
+    "EpochStats",
+    "PerfReport",
+]

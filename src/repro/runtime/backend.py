@@ -1,0 +1,306 @@
+"""The reconfigurable runtime backend (paper Sec. 3.2, Fig. 3).
+
+:class:`RuntimeBackend` executes Algorithm 1 — sample on host, transfer over
+the link, update the device cache, compute on device — for any
+:class:`~repro.config.settings.TrainingConfig`.  GNN computation runs for
+real (numpy autograd), producing genuine losses and accuracies; time and
+memory are charged by the analytic platform model driven by the *measured*
+per-batch quantities (subgraph sizes, cache hits), per the substitution rule
+in DESIGN.md.
+
+The backend is where the four optimization categories meet:
+
+* sampling — the sampler factory (Cat. 1) honours ``sampler``/``hop_list``/
+  ``bias_rate``; biased samplers re-read the cache's hot set every batch,
+  which is the sampling↔transmission coupling 2PGraph exploits;
+* transmission — the :class:`~repro.hardware.cache.DeviceCache` (Cat. 2);
+* model design — ``build_model`` (Cat. 3);
+* computation — graph reordering tweaks the effective device bandwidth
+  (Cat. 4) through the roofline model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.functional import nll_loss
+from repro.autograd.tensor import Tensor, no_grad
+from repro.config.settings import TaskSpec, TrainingConfig
+from repro.errors import ConfigError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.datasets import load_dataset, train_val_test_split
+from repro.graphs.partition import bfs_partition, cache_priority_order
+from repro.graphs.reorder import locality_score, reorder_graph
+from repro.hardware.cache import DeviceCache
+from repro.hardware.costmodel import model_costing, t_compute, t_replace, t_sample, t_transfer
+from repro.hardware.memory import MemoryBreakdown, gamma_cache, gamma_model, gamma_runtime
+from repro.hardware.specs import Platform, get_platform
+from repro.nn.graphconv import Propagation
+from repro.nn.metrics import accuracy
+from repro.nn.models import build_model
+from repro.nn.optim import Adam
+from repro.runtime.report import BatchRecord, EpochStats, PerfReport
+from repro.sampling.base import Sampler
+from repro.sampling.batching import BatchIterator
+from repro.sampling.biased import BiasedNeighborSampler
+from repro.sampling.cluster import ClusterSampler
+from repro.sampling.layerwise import LayerSampler
+from repro.sampling.neighbor import NeighborSampler
+from repro.sampling.saint import SaintSampler
+
+__all__ = ["RuntimeBackend", "make_sampler"]
+
+#: fallback hot-set size when a biased sampler runs without a cache
+_DEGREE_HOT_FRACTION = 0.2
+
+
+def make_sampler(
+    config: TrainingConfig, graph: CSRGraph, cache: DeviceCache | None
+) -> Sampler:
+    """Instantiate the sampler a configuration asks for (Fig. 3 Cat. 1).
+
+    ``fastgcn`` derives its per-layer budgets from Eq. 3
+    (``Δ_l = k_l · |B0|``, capped at half the graph); ``saint`` uses a walk
+    length of twice the hop count, the paper's "many more hops, fanout 1"
+    reading of subgraph sampling.
+    """
+    if config.sampler == "sage":
+        return NeighborSampler(list(config.hop_list))
+    if config.sampler == "fastgcn":
+        cap = max(graph.num_nodes // 2, 1)
+        sizes = [min(k * config.batch_size, cap) for k in config.hop_list]
+        return LayerSampler(sizes)
+    if config.sampler == "saint":
+        return SaintSampler(walk_length=2 * len(config.hop_list))
+    if config.sampler == "cluster":
+        # Partition count scales with batch size so each batch covers a few
+        # partitions: |V| / |B0| regions of roughly batch-size vertices.
+        parts = max(2, graph.num_nodes // max(config.batch_size, 1))
+        return ClusterSampler(min(parts, 64), parts_per_batch=len(config.hop_list))
+    if config.sampler == "biased":
+        if cache is not None and cache.capacity > 0:
+            hot = cache.hot_nodes()
+        else:  # no cache to chase: prefer hub vertices (degree locality)
+            count = max(1, int(_DEGREE_HOT_FRACTION * graph.num_nodes))
+            hot = cache_priority_order(graph)[:count]
+        return BiasedNeighborSampler(
+            list(config.hop_list), bias_rate=config.bias_rate, hot_nodes=hot
+        )
+    raise ConfigError(f"unknown sampler {config.sampler!r}")
+
+
+class RuntimeBackend:
+    """Executes one training task under one configuration."""
+
+    def __init__(
+        self,
+        task: TaskSpec,
+        config: TrainingConfig,
+        *,
+        graph: CSRGraph | None = None,
+        platform: Platform | None = None,
+    ) -> None:
+        self.task = task
+        self.config = config.canonical()
+        self.platform = platform or get_platform(task.platform)
+        graph = graph if graph is not None else load_dataset(task.dataset)
+        if graph.features is None or graph.labels is None:
+            raise ConfigError("runtime backend needs a featured, labelled graph")
+
+        # Cat. 4: computation — reordering improves aggregation locality,
+        # which the roofline model converts into effective bandwidth.
+        self.graph = reorder_graph(graph, self.config.reorder)
+        self._bandwidth_scale = 0.7 + 0.3 * locality_score(self.graph)
+
+        self.train_nodes, self.val_nodes, self.test_nodes = train_val_test_split(
+            self.graph.num_nodes,
+            train_frac=task.train_frac,
+            val_frac=task.val_frac,
+            seed=task.seed,
+        )
+
+        # Cat. 2: transmission — device cache sized by the cache ratio.
+        capacity = int(self.config.cache_ratio * self.graph.num_nodes)
+        self.cache = DeviceCache(
+            self.graph.num_nodes,
+            capacity,
+            policy=self.config.cache_policy if capacity else "none",
+            priority=cache_priority_order(self.graph),
+        )
+
+        # Cat. 1: sampling — sampler + batch schedule.
+        self.sampler = make_sampler(self.config, self.graph, self.cache)
+        partition = None
+        if self.config.batch_order == "partition":
+            parts = max(2, self.graph.num_nodes // max(self.config.batch_size, 1))
+            partition = bfs_partition(self.graph, min(parts, 64), seed=task.seed)
+        self.batches = BatchIterator(
+            self.train_nodes,
+            self.config.batch_size,
+            order=self.config.batch_order,
+            partition=partition,
+            seed=task.seed,
+        )
+
+        # Cat. 3: model design.
+        self.model = build_model(
+            task.arch,
+            self.graph.feature_dim,
+            self.graph.num_classes,
+            hidden_channels=self.config.hidden_channels,
+            num_layers=self.config.num_layers,
+            heads=self.config.heads,
+            dropout_p=self.config.dropout,
+            seed=task.seed,
+        )
+        self.optimizer = Adam(self.model.parameters(), lr=task.lr)
+        self._rng = np.random.default_rng(task.seed + 7)
+        self._features = self.graph.features
+        self._full_prop = Propagation.from_graph(self.graph)
+        self._train_mask = np.zeros(self.graph.num_nodes, dtype=bool)
+        self._train_mask[self.train_nodes] = True
+        self._peak_runtime_bytes = 0.0
+
+    # ------------------------------------------------------------- mechanics
+    def _train_step(self, batch) -> float:
+        """One real forward/backward/optimize step on the sampled subgraph."""
+        sub = batch.subgraph
+        x = Tensor(self._features[batch.nodes])
+        prop = Propagation.from_graph(sub)
+        self.model.train()
+        self.optimizer.zero_grad()
+        out = self.model(x, prop)
+        # Subgraph samplers (GraphSAINT) mark every subgraph vertex as a loss
+        # target; restrict to training vertices so val/test labels never leak.
+        target_index = batch.target_index
+        target_index = target_index[self._train_mask[batch.nodes[target_index]]]
+        if target_index.size == 0:
+            return float("nan")
+        targets = self.graph.labels[batch.nodes[target_index]]
+        loss = nll_loss(out[target_index], targets)
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.item())
+
+    def _charge_batch(self, batch, admitted: int, evicted: int, missed: int, loss: float) -> BatchRecord:
+        """Apply the Eq. 5-8 cost functions to measured batch quantities."""
+        costing = model_costing(
+            self.task.arch,
+            batch.num_nodes,
+            batch.num_edges,
+            in_dim=self.graph.feature_dim,
+            hidden_dim=self.config.hidden_channels,
+            out_dim=self.graph.num_classes,
+            num_layers=self.config.num_layers,
+            heads=self.config.heads,
+        )
+        # Reordering raises effective bandwidth => shrinks memory-bound time.
+        scaled = type(costing)(
+            flops=costing.flops,
+            bytes_moved=costing.bytes_moved / self._bandwidth_scale,
+            kernel_launches=costing.kernel_launches,
+        )
+        record = BatchRecord(
+            num_targets=batch.num_targets,
+            num_nodes=batch.num_nodes,
+            num_edges=batch.num_edges,
+            num_missed=missed,
+            num_admitted=admitted,
+            num_evicted=evicted,
+            t_sample=t_sample(
+                batch.num_nodes - batch.num_targets,
+                self.platform,
+                edges_touched=batch.num_edges,
+            ),
+            t_transfer=t_transfer(missed, self.graph.feature_dim, self.platform),
+            t_replace=t_replace(
+                admitted, evicted, self.graph.feature_dim, self.platform
+            ),
+            t_compute=t_compute(scaled, self.platform),
+            loss=loss,
+        )
+        runtime_bytes = gamma_runtime(
+            batch.num_nodes,
+            batch.num_edges,
+            n_attr=self.graph.feature_dim,
+            hidden_dim=self.config.hidden_channels,
+            out_dim=self.graph.num_classes,
+            num_layers=self.config.num_layers,
+            heads=self.config.heads,
+            attention=self.task.arch == "gat",
+        )
+        self._peak_runtime_bytes = max(self._peak_runtime_bytes, runtime_bytes)
+        return record
+
+    def run_epoch(self, epoch: int) -> tuple[EpochStats, list[BatchRecord]]:
+        """Algorithm 1, lines 1-10, over one epoch of mini-batches."""
+        records: list[BatchRecord] = []
+        for target_batch in self.batches.epoch():
+            # 2PGraph coupling: biased samplers chase the *current* cache.
+            if isinstance(self.sampler, BiasedNeighborSampler) and self.cache.capacity:
+                self.sampler.set_hot_nodes(self.cache.hot_nodes())
+            batch = self.sampler.sample(self.graph, target_batch, rng=self._rng)
+
+            hit_mask = self.cache.lookup(batch.nodes)
+            missed = int((~hit_mask).sum())
+            admitted, evicted = self.cache.update(batch.nodes[~hit_mask])
+
+            loss = self._train_step(batch)
+            records.append(self._charge_batch(batch, admitted, evicted, missed, loss))
+
+        val_acc = self.evaluate(self.val_nodes)
+        stats = EpochStats(
+            epoch=epoch,
+            time_s=float(sum(r.time for r in records)),
+            t_sample=float(sum(r.t_sample for r in records)),
+            t_transfer=float(sum(r.t_transfer for r in records)),
+            t_replace=float(sum(r.t_replace for r in records)),
+            t_compute=float(sum(r.t_compute for r in records)),
+            mean_batch_nodes=float(np.mean([r.num_nodes for r in records])),
+            mean_batch_edges=float(np.mean([r.num_edges for r in records])),
+            hit_rate=float(np.mean([r.hit_rate for r in records])),
+            loss=float(np.mean([r.loss for r in records])),
+            val_accuracy=val_acc,
+            num_batches=len(records),
+        )
+        return stats, records
+
+    def evaluate(self, nodes: np.ndarray) -> float:
+        """Full-graph inference accuracy on a node subset (no grad)."""
+        if nodes.size == 0:
+            return 0.0
+        self.model.eval()
+        with no_grad():
+            out = self.model(Tensor(self._features), self._full_prop)
+        return accuracy(out.numpy()[nodes], self.graph.labels[nodes])
+
+    def memory_breakdown(self) -> MemoryBreakdown:
+        """Eq. 9: Γ_model + Γ_cache + Γ_runtime (runtime peak so far)."""
+        return MemoryBreakdown(
+            model=gamma_model(
+                self.model.num_parameters(),
+                optimizer_state_factor=self.optimizer.state_factor,
+            ),
+            cache=gamma_cache(self.cache.capacity, self.graph.feature_dim),
+            runtime=self._peak_runtime_bytes,
+        )
+
+    def train(self, *, keep_batch_records: bool = False) -> PerfReport:
+        """Full training run returning ``Perf(T, Γ, Acc)``."""
+        epochs: list[EpochStats] = []
+        batches: list[BatchRecord] = []
+        for epoch in range(self.task.epochs):
+            stats, records = self.run_epoch(epoch)
+            epochs.append(stats)
+            if keep_batch_records:
+                batches.extend(records)
+        test_acc = self.evaluate(self.test_nodes)
+        return PerfReport(
+            time_s=float(np.mean([e.time_s for e in epochs])),
+            memory=self.memory_breakdown(),
+            accuracy=test_acc,
+            epochs=epochs,
+            batches=batches,
+            config_summary=self.config.describe(),
+            task_summary=f"{self.task.dataset}+{self.task.arch}@{self.platform.name}",
+        )

@@ -1,0 +1,114 @@
+"""Ground-truth profiler: runs configurations and records what happened.
+
+Fills the role of the PyTorch profiler in the paper's Sec. 4.1: the
+performance estimator "is trained on the ground-truth performance covering
+the whole design space".  :func:`profile_configs` executes candidates on the
+runtime backend and serialises one :class:`GroundTruthRecord` per candidate —
+the training set of the gray-box model and the raw data behind Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.settings import TaskSpec, TrainingConfig
+from repro.graphs.csr import CSRGraph
+from repro.graphs.profiling import GraphProfile, profile_graph
+from repro.hardware.specs import Platform, get_platform
+from repro.runtime.backend import RuntimeBackend
+from repro.runtime.report import PerfReport
+
+__all__ = ["GroundTruthRecord", "profile_configs", "profile_one"]
+
+
+@dataclass(frozen=True)
+class GroundTruthRecord:
+    """Measured performance of one (task, config) pair.
+
+    Holds both the final ``Perf(T, Γ, Acc)`` targets and the intermediate
+    variables (|V_i|, hit rate, phase times) the gray-box estimator models
+    explicitly.
+    """
+
+    config: TrainingConfig
+    task: TaskSpec
+    graph_profile: GraphProfile
+    time_s: float
+    memory_bytes: float
+    accuracy: float
+    mean_batch_nodes: float
+    mean_batch_edges: float
+    hit_rate: float
+    t_sample: float
+    t_transfer: float
+    t_replace: float
+    t_compute: float
+    num_batches: int
+
+    def features(self, platform: Platform | None = None) -> np.ndarray:
+        """Candidate + pre-determined settings encoding (Fig. 4 inputs)."""
+        platform = platform or get_platform(self.task.platform)
+        return np.concatenate(
+            [
+                self.config.as_features(),
+                self.graph_profile.as_features(),
+                np.asarray(platform.as_features(), dtype=np.float64),
+            ]
+        )
+
+
+def _record_from_report(
+    config: TrainingConfig,
+    task: TaskSpec,
+    profile: GraphProfile,
+    report: PerfReport,
+) -> GroundTruthRecord:
+    last = report.epochs[-1]
+    return GroundTruthRecord(
+        config=config,
+        task=task,
+        graph_profile=profile,
+        time_s=report.time_s,
+        memory_bytes=float(report.memory.total),
+        accuracy=report.accuracy,
+        mean_batch_nodes=report.mean_batch_nodes,
+        mean_batch_edges=float(np.mean([e.mean_batch_edges for e in report.epochs])),
+        hit_rate=report.mean_hit_rate,
+        t_sample=last.t_sample / max(last.num_batches, 1),
+        t_transfer=last.t_transfer / max(last.num_batches, 1),
+        t_replace=last.t_replace / max(last.num_batches, 1),
+        t_compute=last.t_compute / max(last.num_batches, 1),
+        num_batches=last.num_batches,
+    )
+
+
+def profile_one(
+    task: TaskSpec,
+    config: TrainingConfig,
+    *,
+    graph: CSRGraph | None = None,
+) -> tuple[GroundTruthRecord, PerfReport]:
+    """Execute one candidate and return its record plus the full report."""
+    backend = RuntimeBackend(task, config, graph=graph)
+    report = backend.train()
+    profile = profile_graph(backend.graph)
+    return _record_from_report(backend.config, task, profile, report), report
+
+
+def profile_configs(
+    task: TaskSpec,
+    configs: list[TrainingConfig],
+    *,
+    graph: CSRGraph | None = None,
+    progress: bool = False,
+) -> list[GroundTruthRecord]:
+    """Execute every candidate on the backend (the Fig. 6 protocol)."""
+    records: list[GroundTruthRecord] = []
+    for i, config in enumerate(configs):
+        record, _ = profile_one(task, config, graph=graph)
+        records.append(record)
+        if progress and (i + 1) % 10 == 0:
+            print(f"profiled {i + 1}/{len(configs)} candidates")
+    return records

@@ -1,0 +1,25 @@
+"""Samplers: the unified abstraction of Eq. 2/3 and its instantiations."""
+
+from repro.sampling.base import SampleBatch, Sampler, fanout_step
+from repro.sampling.batching import BatchIterator
+from repro.sampling.biased import BiasedNeighborSampler, hot_set_weights
+from repro.sampling.cluster import ClusterSampler
+from repro.sampling.expectation import saturating_expectation, tree_growth_bound
+from repro.sampling.layerwise import LayerSampler
+from repro.sampling.neighbor import NeighborSampler
+from repro.sampling.saint import SaintSampler
+
+__all__ = [
+    "SampleBatch",
+    "Sampler",
+    "fanout_step",
+    "BatchIterator",
+    "NeighborSampler",
+    "LayerSampler",
+    "SaintSampler",
+    "BiasedNeighborSampler",
+    "ClusterSampler",
+    "hot_set_weights",
+    "saturating_expectation",
+    "tree_growth_bound",
+]

@@ -1,0 +1,127 @@
+"""Unified sampler abstraction (paper Sec. 3.2, Eq. 2).
+
+Every sampling strategy — node-wise, layer-wise, subgraph-wise, biased — is
+expressed as repeated *fanout steps*: from a frontier ``B^{l-1}``, select up
+to ``k_l`` neighbours per vertex with probability ``p(η)``, and union the
+result into the mini-batch.  :func:`fanout_step` implements one such step
+with weighted sampling-without-replacement (Efraimidis–Spirakis keys), which
+is exactly the indicator ``I_p(η)`` of Eq. 2; subclasses differ only in how
+they schedule steps and shape ``p(η)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["SampleBatch", "Sampler", "fanout_step"]
+
+
+@dataclass
+class SampleBatch:
+    """One mini-batch ``G_i(V_i, E_i)`` produced by a sampler.
+
+    ``nodes`` are the global vertex ids of the subgraph rows (sorted).
+    ``target_index`` locates the loss vertices ``B0_i`` inside the subgraph.
+    """
+
+    subgraph: CSRGraph
+    nodes: np.ndarray
+    target_index: np.ndarray
+    num_targets: int
+    hops: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        """Mini-batch size ``|V_i|`` — the estimator's key variable."""
+        return self.subgraph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.subgraph.num_edges
+
+
+def fanout_step(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    k: int,
+    *,
+    weights: np.ndarray | None = None,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample up to ``k`` distinct neighbours of every frontier vertex.
+
+    ``weights`` (per global vertex, positive) bias the neighbour choice —
+    the ``p(η)`` hook of Eq. 2.  Uses Efraimidis–Spirakis exponential keys so
+    the whole step is vectorised: neighbour ``u`` of ``v`` is kept when its
+    key ranks in the top ``k`` of ``v``'s neighbourhood.
+    """
+    if k <= 0:
+        raise SamplingError("fanout k must be positive")
+    frontier = np.asarray(frontier, dtype=np.int64)
+    src, dst = graph.gather_neighborhoods(frontier)
+    if dst.size == 0:
+        return np.empty(0, dtype=np.int64)
+
+    if weights is None:
+        keys = rng.random(dst.size)
+    else:
+        w = weights[dst]
+        if np.any(w <= 0):
+            raise SamplingError("bias weights must be strictly positive")
+        keys = rng.random(dst.size) ** (1.0 / w)
+
+    # Rank edges per source vertex by key (descending) and keep rank < k.
+    order = np.lexsort((-keys, src))
+    src_sorted = src[order]
+    boundaries = np.concatenate([[True], src_sorted[1:] != src_sorted[:-1]])
+    group_start = np.maximum.accumulate(np.where(boundaries, np.arange(src_sorted.size), 0))
+    rank = np.arange(src_sorted.size) - group_start
+    chosen = order[rank < k]
+    return np.unique(dst[chosen])
+
+
+class Sampler:
+    """Base class: expands target vertices ``B0`` into a :class:`SampleBatch`."""
+
+    name = "base"
+
+    def sample(
+        self, graph: CSRGraph, targets: np.ndarray, *, rng: np.random.Generator
+    ) -> SampleBatch:
+        """Produce the mini-batch for targets ``B0_i``."""
+        raise NotImplementedError
+
+    def expected_hops(self) -> int:
+        """Number of fanout steps (τ exponent context for Eq. 12)."""
+        raise NotImplementedError
+
+    def fanout_profile(self) -> list[float]:
+        """Per-hop expected fanout ``k_l`` — feeds E[|V_i|] of Eq. 12."""
+        raise NotImplementedError
+
+    def _finalize(
+        self,
+        graph: CSRGraph,
+        targets: np.ndarray,
+        all_nodes: np.ndarray,
+        hops: int,
+        **meta,
+    ) -> SampleBatch:
+        """Induce the subgraph and locate targets inside it."""
+        targets = np.asarray(targets, dtype=np.int64)
+        subgraph, nodes = graph.induced_subgraph(all_nodes)
+        target_index = np.searchsorted(nodes, np.unique(targets))
+        return SampleBatch(
+            subgraph=subgraph,
+            nodes=nodes,
+            target_index=target_index,
+            num_targets=int(np.unique(targets).size),
+            hops=hops,
+            meta=meta,
+        )

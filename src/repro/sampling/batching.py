@@ -1,0 +1,78 @@
+"""Target-vertex batch scheduling.
+
+Algorithm 1 line 1: an epoch visits ``|V_train| / |B0|`` mini-batches.  The
+iterator shuffles training vertices each epoch (``random`` order) or groups
+them by locality partition (``partition`` order — 2PGraph schedules batches
+so consecutive batches reuse the same cached region).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+__all__ = ["BatchIterator"]
+
+
+class BatchIterator:
+    """Yields target-vertex sets ``B0_i`` of one epoch."""
+
+    def __init__(
+        self,
+        train_nodes: np.ndarray,
+        batch_size: int,
+        *,
+        order: str = "random",
+        partition: np.ndarray | None = None,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise SamplingError("batch_size must be positive")
+        if order not in ("random", "sequential", "partition"):
+            raise SamplingError(f"unknown batch order {order!r}")
+        if order == "partition" and partition is None:
+            raise SamplingError("partition order requires a partition vector")
+        self.train_nodes = np.asarray(train_nodes, dtype=np.int64)
+        if self.train_nodes.size == 0:
+            raise SamplingError("no training vertices")
+        self.batch_size = int(batch_size)
+        self.order = order
+        self.partition = partition
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        """Number of mini-batches per epoch (``n_iter`` of Eq. 4)."""
+        n = self.train_nodes.size
+        if self.drop_last:
+            return n // self.batch_size
+        return -(-n // self.batch_size)
+
+    def _epoch_order(self) -> np.ndarray:
+        if self.order == "sequential":
+            return self.train_nodes
+        if self.order == "random":
+            return self._rng.permutation(self.train_nodes)
+        # Partition order: shuffle within each partition, then concatenate
+        # partitions in random order so batches stay locality-coherent.
+        parts = self.partition[self.train_nodes]
+        chunks: list[np.ndarray] = []
+        for pid in self._rng.permutation(np.unique(parts)):
+            members = self.train_nodes[parts == pid]
+            chunks.append(self._rng.permutation(members))
+        return np.concatenate(chunks)
+
+    def epoch(self) -> Iterator[np.ndarray]:
+        """Iterate the batches of one epoch."""
+        order = self._epoch_order()
+        self._epoch += 1
+        stop = len(self) * self.batch_size if self.drop_last else order.size
+        for lo in range(0, stop, self.batch_size):
+            batch = order[lo : lo + self.batch_size]
+            if batch.size:
+                yield batch

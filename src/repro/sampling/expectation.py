@@ -1,0 +1,55 @@
+"""Analytic mini-batch-size expectation — the white-box core of Eq. 12.
+
+The paper models ``E[|V_i|] = f_overlapping(|B0| * Π_l (1 + k_l)^τ, p(η))``:
+the product term is the tree-growth upper bound (every hop multiplies the
+frontier by ``1 + k_l``), and ``f_overlapping`` is a learnable penalty
+accounting for neighbourhood overlap, saturation at ``|V|`` and sampling
+bias.  This module provides the closed-form pieces; the learnable wrapper
+lives in :mod:`repro.estimator.batchsize`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+__all__ = ["tree_growth_bound", "saturating_expectation"]
+
+
+def tree_growth_bound(
+    batch_size: int, fanouts: list[float], *, tau: float = 1.0
+) -> float:
+    """Upper bound ``|B0| * Π_l (1 + k_l)^τ`` of Eq. 12 (no overlap)."""
+    if batch_size <= 0:
+        raise SamplingError("batch_size must be positive")
+    if tau <= 0:
+        raise SamplingError("tau must be positive")
+    product = 1.0
+    for k in fanouts:
+        if k < 0:
+            raise SamplingError("fanouts must be non-negative")
+        product *= (1.0 + k) ** tau
+    return float(batch_size) * product
+
+
+def saturating_expectation(
+    bound: float | np.ndarray,
+    num_nodes: int,
+    *,
+    overlap: float = 1.0,
+) -> np.ndarray:
+    """Deterministic overlap penalty: birthday-style saturation toward |V|.
+
+    Sampling ``m`` vertex slots uniformly from ``n`` distinct vertices yields
+    ``n * (1 - exp(-m / n))`` distinct vertices in expectation; ``overlap``
+    rescales the effective ``m`` (``<1`` = more redundancy, e.g. biased
+    samplers revisiting the hot set).  Used both as the analytic prior of the
+    gray-box batch-size model and as a sanity bound in tests.
+    """
+    if num_nodes <= 0:
+        raise SamplingError("num_nodes must be positive")
+    if overlap <= 0:
+        raise SamplingError("overlap must be positive")
+    m = np.asarray(bound, dtype=np.float64) * overlap
+    return num_nodes * (1.0 - np.exp(-m / num_nodes))

@@ -1,0 +1,64 @@
+"""Shared fixtures: small deterministic graphs and tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.settings import TaskSpec, TrainingConfig
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import powerlaw_community_graph
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> CSRGraph:
+    """A 400-node labelled power-law community graph (fast to train on)."""
+    return powerlaw_community_graph(
+        400,
+        num_classes=5,
+        feature_dim=16,
+        min_degree=3,
+        max_degree=40,
+        homophily=0.8,
+        feature_noise=0.8,
+        seed=7,
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> CSRGraph:
+    """A 2000-node graph for sampler/cache statistics tests."""
+    return powerlaw_community_graph(
+        2000,
+        num_classes=8,
+        feature_dim=24,
+        min_degree=4,
+        max_degree=100,
+        homophily=0.7,
+        feature_noise=1.5,
+        seed=11,
+        name="medium",
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)
+
+
+@pytest.fixture()
+def tiny_task() -> TaskSpec:
+    return TaskSpec(dataset="tiny", arch="sage", epochs=2, lr=0.02)
+
+
+@pytest.fixture()
+def tiny_config() -> TrainingConfig:
+    return TrainingConfig(
+        batch_size=64,
+        sampler="sage",
+        hop_list=(4, 3),
+        cache_ratio=0.2,
+        cache_policy="static",
+        hidden_channels=16,
+    )

@@ -1,0 +1,228 @@
+"""Gradient checks and behaviour tests for activations, losses, sparse ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    concat,
+    cross_entropy,
+    default_dtype,
+    dropout,
+    elu,
+    exp,
+    gather,
+    leaky_relu,
+    log,
+    log_softmax,
+    nll_loss,
+    normalized_adjacency,
+    relu,
+    scatter_add,
+    scatter_mean,
+    segment_softmax,
+    sigmoid,
+    spmm,
+    tanh,
+)
+from tests.test_autograd_tensor import check_gradient
+
+
+class TestActivationGradients:
+    def test_relu(self):
+        check_gradient(lambda t: relu(t), (4, 3), seed=1)
+
+    def test_leaky_relu(self):
+        check_gradient(lambda t: leaky_relu(t, 0.1), (4, 3), seed=2)
+
+    def test_elu(self):
+        check_gradient(lambda t: elu(t), (4, 3), seed=3)
+
+    def test_exp_log(self):
+        check_gradient(lambda t: log(exp(t) + 1.0), (5,), seed=4)
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: sigmoid(t), (6,), seed=5)
+
+    def test_tanh(self):
+        check_gradient(lambda t: tanh(t), (6,), seed=6)
+
+    def test_log_softmax(self):
+        check_gradient(lambda t: log_softmax(t, axis=-1), (4, 5), seed=7)
+
+    def test_concat(self):
+        check_gradient(
+            lambda t: concat([t * 2.0, t + 1.0], axis=1), (3, 2), seed=8
+        )
+
+
+class TestLosses:
+    def test_nll_matches_manual(self):
+        logp = np.log(np.array([[0.7, 0.3], [0.2, 0.8]]))
+        targets = np.array([0, 1])
+        loss = nll_loss(Tensor(logp), targets)
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_cross_entropy_gradient(self):
+        targets = np.array([0, 2, 1])
+        check_gradient(lambda t: cross_entropy(t, targets), (3, 4), seed=9)
+
+    def test_nll_rejects_bad_targets(self):
+        with pytest.raises(ValueError):
+            nll_loss(Tensor(np.zeros((2, 3))), np.array([[0, 1]]))
+
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = Tensor(np.array([[50.0, 0.0], [0.0, 50.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_zero_p_is_identity(self):
+        x = Tensor(np.ones(5))
+        assert dropout(x, 0.0) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.4, rng=rng)
+        assert out.numpy().mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor([1.0]), 1.0)
+
+    def test_gradient_masks_match_forward(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(np.ones((8, 8)), requires_grad=True)
+        out = dropout(x, 0.5, rng=rng)
+        out.sum().backward()
+        dropped = out.numpy() == 0
+        assert np.all(x.grad[dropped] == 0)
+        assert np.all(x.grad[~dropped] == 2.0)
+
+
+class TestSparseOps:
+    def test_gather_forward(self):
+        x = Tensor(np.arange(6.0).reshape(3, 2))
+        out = gather(x, np.array([2, 0]))
+        np.testing.assert_allclose(out.numpy(), [[4.0, 5.0], [0.0, 1.0]])
+
+    def test_gather_gradient(self):
+        idx = np.array([0, 1, 1, 2])
+        check_gradient(lambda t: gather(t, idx) * 2.0, (3, 2), seed=10)
+
+    def test_scatter_add_forward(self):
+        src = Tensor(np.ones((4, 2)))
+        out = scatter_add(src, np.array([0, 0, 1, 1]), 3)
+        np.testing.assert_allclose(out.numpy(), [[2, 2], [2, 2], [0, 0]])
+
+    def test_scatter_add_gradient(self):
+        idx = np.array([0, 1, 1, 0])
+        check_gradient(lambda t: scatter_add(t, idx, 2), (4, 3), seed=11)
+
+    def test_scatter_add_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            scatter_add(Tensor(np.ones((3, 2))), np.array([0, 1]), 2)
+
+    def test_scatter_mean_empty_bucket_zero(self):
+        src = Tensor(np.ones((2, 2)))
+        out = scatter_mean(src, np.array([0, 0]), 3)
+        np.testing.assert_allclose(out.numpy()[1:], 0.0)
+        np.testing.assert_allclose(out.numpy()[0], 1.0)
+
+    def test_segment_softmax_sums_to_one(self):
+        vals = Tensor(np.random.default_rng(2).normal(size=(6, 2)))
+        seg = np.array([0, 0, 0, 1, 1, 2])
+        out = segment_softmax(vals, seg, 3).numpy()
+        for s in range(3):
+            np.testing.assert_allclose(out[seg == s].sum(axis=0), 1.0, rtol=1e-5)
+
+    def test_segment_softmax_gradient(self):
+        seg = np.array([0, 0, 1, 1, 1])
+        check_gradient(
+            lambda t: segment_softmax(t, seg, 2) * np.arange(10).reshape(5, 2),
+            (5, 2),
+            seed=12,
+        )
+
+    def test_segment_softmax_matrix_path_matches(self):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(3)
+        seg = np.sort(rng.integers(0, 4, size=12))
+        vals = rng.normal(size=(12, 3))
+        mat = sp.csr_matrix(
+            (np.ones(12), (seg, np.arange(12))), shape=(4, 12)
+        )
+        with default_dtype(np.float64):
+            a = segment_softmax(Tensor(vals), seg, 4).numpy()
+            b = segment_softmax(Tensor(vals), seg, 4, scatter_matrix=mat).numpy()
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+
+class TestSpmm:
+    def test_forward_matches_dense(self):
+        adj = normalized_adjacency(
+            np.array([0, 1, 2]), np.array([1, 0]), 2, dtype=np.float64
+        )
+        x = np.array([[1.0], [2.0]])
+        out = spmm(adj, Tensor(x))
+        np.testing.assert_allclose(out.numpy(), adj.toarray() @ x, rtol=1e-6)
+
+    def test_gradient(self):
+        adj = normalized_adjacency(
+            np.array([0, 2, 3, 5]),
+            np.array([1, 2, 0, 0, 1]),
+            3,
+            dtype=np.float64,
+        )
+        check_gradient(lambda t: spmm(adj, t), (3, 4), seed=13)
+
+    def test_gradient_with_cached_transpose(self):
+        adj = normalized_adjacency(
+            np.array([0, 2, 3, 5]),
+            np.array([1, 2, 0, 0, 1]),
+            3,
+            mode="row",
+            dtype=np.float64,
+        )
+        adj_t = adj.T.tocsr()
+        check_gradient(
+            lambda t: spmm(adj, t, transposed=adj_t), (3, 2), seed=14
+        )
+
+
+class TestNormalizedAdjacency:
+    def test_sym_is_symmetric(self):
+        # Symmetric input adjacency (the CSRGraph contract): 0-1, 0-2, 1-2.
+        adj = normalized_adjacency(
+            np.array([0, 2, 4, 6]),
+            np.array([1, 2, 0, 2, 0, 1]),
+            3,
+            dtype=np.float64,
+        )
+        dense = adj.toarray()
+        np.testing.assert_allclose(dense, dense.T, rtol=1e-12)
+
+    def test_row_rows_sum_to_one(self):
+        adj = normalized_adjacency(
+            np.array([0, 2, 3, 5]),
+            np.array([1, 2, 0, 0, 1]),
+            3,
+            mode="row",
+            dtype=np.float64,
+        )
+        np.testing.assert_allclose(adj.toarray().sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(np.array([0, 0]), np.array([]), 1, mode="col")

@@ -1,0 +1,201 @@
+"""Autograd engine tests: op correctness and numeric gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import (
+    Tensor,
+    as_tensor,
+    default_dtype,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+)
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued fn at x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        grad.ravel()[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, shape, seed=0, atol=1e-5):
+    """Compare autograd gradient of sum(build(x)) against finite differences."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=shape)
+    with default_dtype(np.float64):
+        t = Tensor(x0.copy(), requires_grad=True)
+        out = build(t)
+        out.sum().backward()
+        auto = t.grad.copy()
+
+        def scalar(arr):
+            return build(Tensor(arr)).sum().item()
+
+        num = numeric_grad(scalar, x0.copy())
+    np.testing.assert_allclose(auto, num, atol=atol, rtol=1e-4)
+
+
+class TestDtypeControl:
+    def test_default_is_float32(self):
+        assert get_default_dtype() == np.dtype(np.float32)
+        assert Tensor([1.0]).data.dtype == np.float32
+
+    def test_context_manager_restores(self):
+        with default_dtype(np.float64):
+            assert Tensor([1.0]).data.dtype == np.float64
+        assert Tensor([1.0]).data.dtype == np.float32
+
+    def test_rejects_int_dtype(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+
+class TestBasicOps:
+    def test_add_forward(self):
+        c = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(c.numpy(), [4.0, 6.0])
+
+    def test_scalar_broadcast(self):
+        c = Tensor([[1.0, 2.0]]) * 3.0
+        np.testing.assert_allclose(c.numpy(), [[3.0, 6.0]])
+
+    def test_radd_rsub_rmul(self):
+        t = Tensor([2.0])
+        np.testing.assert_allclose((1.0 + t).numpy(), [3.0])
+        np.testing.assert_allclose((1.0 - t).numpy(), [-1.0])
+        np.testing.assert_allclose((3.0 * t).numpy(), [6.0])
+        np.testing.assert_allclose((8.0 / t).numpy(), [4.0])
+
+    def test_matmul_shapes(self):
+        out = Tensor(np.ones((3, 4))) @ Tensor(np.ones((4, 5)))
+        assert out.shape == (3, 5)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(6.0).reshape(3, 2))
+        np.testing.assert_allclose(t[1].numpy(), [2.0, 3.0])
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_detach_cuts_tape(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+
+    def test_backward_requires_scalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestGradients:
+    def test_add(self):
+        check_gradient(lambda t: t + t * 2.0, (3, 4))
+
+    def test_mul(self):
+        check_gradient(lambda t: t * t, (4,))
+
+    def test_div(self):
+        check_gradient(lambda t: t / (t * t + 2.0), (5,))
+
+    def test_pow(self):
+        check_gradient(lambda t: t**3, (6,))
+
+    def test_matmul(self):
+        w = np.random.default_rng(1).normal(size=(4, 2))
+        with default_dtype(np.float64):
+            wt = Tensor(w)
+            check_gradient(lambda t: t @ wt, (3, 4))
+
+    def test_sum_axis(self):
+        check_gradient(lambda t: t.sum(axis=0), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda t: t.mean(axis=1), (3, 4))
+
+    def test_max(self):
+        # Perturb away from ties for a well-defined subgradient.
+        check_gradient(lambda t: t.max(axis=1), (5, 7), seed=3)
+
+    def test_reshape_transpose(self):
+        check_gradient(lambda t: (t.reshape(6, 2).T * 2.0), (3, 4))
+
+    def test_getitem_grad(self):
+        idx = np.array([0, 2, 2])
+        check_gradient(lambda t: t[idx] * 3.0, (4, 2))
+
+    def test_diamond_reuse(self):
+        """A tensor consumed twice accumulates both paths' gradients."""
+        with default_dtype(np.float64):
+            t = Tensor([1.0, 2.0], requires_grad=True)
+            y = t * 3.0
+            z = (y + y * 2.0).sum()
+            z.backward()
+            np.testing.assert_allclose(t.grad, [9.0, 9.0])
+
+    def test_grad_accumulates_across_backward(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).sum().backward()
+        (t * 2.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestNoGrad:
+    def test_no_tape_inside_context(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = t * 2.0
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_nested_restores(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_broadcast_grad_property(rows, cols, seed):
+    """Gradient of broadcast ops sums over broadcast axes (shape invariant)."""
+    rng = np.random.default_rng(seed)
+    with default_dtype(np.float64):
+        a = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+        b = Tensor(rng.normal(size=(cols,)), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (rows, cols)
+        assert b.grad.shape == (cols,)
+        # b's gradient is the column sums of a.
+        np.testing.assert_allclose(b.grad, a.data.sum(axis=0), rtol=1e-10)

@@ -1,0 +1,135 @@
+"""CART / random-forest regressor tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimatorError
+from repro.estimator import DecisionTreeRegressor, RandomForestRegressor
+from repro.estimator.validation import mse, r2_score
+
+
+def _piecewise_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-2, 2, size=(n, 3))
+    y = np.where(x[:, 0] > 0, 5.0, -5.0) + 0.5 * (x[:, 1] > 1)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_fits_piecewise_constant(self):
+        x, y = _piecewise_data()
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        pred = tree.predict(x)
+        assert r2_score(y, pred) > 0.95
+
+    def test_single_leaf_predicts_mean(self):
+        x = np.zeros((10, 2))
+        y = np.arange(10.0)
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        np.testing.assert_allclose(tree.predict(np.zeros((1, 2))), y.mean())
+
+    def test_depth_limited(self):
+        x, y = _piecewise_data(500, seed=1)
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf_respected(self):
+        x, y = _piecewise_data(40, seed=2)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=15).fit(x, y)
+        # With leaves of >=15 of 40 samples, at most 2 levels of splits fit.
+        assert tree.depth() <= 2
+
+    def test_predict_before_fit(self):
+        with pytest.raises(EstimatorError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_feature_count_checked(self):
+        x, y = _piecewise_data(50)
+        tree = DecisionTreeRegressor().fit(x, y)
+        with pytest.raises(EstimatorError):
+            tree.predict(np.zeros((1, 5)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(EstimatorError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(EstimatorError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(EstimatorError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_1d_predict_input(self):
+        x, y = _piecewise_data(50)
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert tree.predict(x[0]).shape == (1,)
+
+    def test_handles_infinite_feature(self):
+        x = np.array([[0.0], [1.0], [np.inf], [np.inf]])
+        y = np.array([0.0, 0.0, 5.0, 5.0])
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=1).fit(x, y)
+        assert np.all(np.isfinite(tree.predict(x[:2])))
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noise(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-2, 2, size=(400, 4))
+        y = x[:, 0] * 2 + np.sin(3 * x[:, 1]) + rng.normal(0, 0.3, 400)
+        x_test = rng.uniform(-2, 2, size=(200, 4))
+        y_test = x_test[:, 0] * 2 + np.sin(3 * x_test[:, 1])
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=1).fit(x, y)
+        forest = RandomForestRegressor(n_estimators=25, max_depth=10).fit(x, y)
+        assert mse(y_test, forest.predict(x_test)) < mse(y_test, tree.predict(x_test))
+
+    def test_deterministic_given_seed(self):
+        x, y = _piecewise_data(200, seed=4)
+        f1 = RandomForestRegressor(n_estimators=5, random_state=7).fit(x, y)
+        f2 = RandomForestRegressor(n_estimators=5, random_state=7).fit(x, y)
+        np.testing.assert_array_equal(f1.predict(x), f2.predict(x))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(EstimatorError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(EstimatorError):
+            RandomForestRegressor(max_features=0.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(EstimatorError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+
+class TestMetrics:
+    def test_r2_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_mse_basic(self):
+        assert mse(np.array([0.0, 0.0]), np.array([1.0, 1.0])) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimatorError):
+            r2_score(np.zeros(3), np.zeros(4))
+        with pytest.raises(EstimatorError):
+            mse(np.zeros(3), np.zeros(4))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000), depth=st.integers(1, 8))
+def test_tree_predictions_within_target_range(seed, depth):
+    """Tree predictions are convex combinations of training targets."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(60, 3))
+    y = rng.normal(size=60)
+    tree = DecisionTreeRegressor(max_depth=depth).fit(x, y)
+    pred = tree.predict(rng.normal(size=(30, 3)))
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9

@@ -1,0 +1,45 @@
+"""Fig. 1 experiment functions on the tiny fixture (fast integration)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.runtime.backend as backend_mod
+from repro.experiments.fig1 import run_fig1a, run_fig1b
+
+
+@pytest.fixture(autouse=True)
+def _tiny_dataset(monkeypatch, small_graph):
+    """Route dataset loading to the 400-node fixture so the sweeps are fast."""
+    monkeypatch.setattr(backend_mod, "load_dataset", lambda name: small_graph)
+
+
+class TestFig1a:
+    def test_tradeoff_monotone(self):
+        points = run_fig1a(epochs=1, cache_ratios=(0.0, 0.3, 0.6))
+        times = [p.epoch_time_ms for p in points]
+        mems = [p.memory_mib for p in points]
+        assert times[0] > times[-1]
+        assert mems[0] < mems[-1]
+
+    def test_hit_rate_tracks_ratio(self):
+        points = run_fig1a(epochs=1, cache_ratios=(0.0, 0.5))
+        assert points[0].hit_rate == 0.0
+        assert points[1].hit_rate > 0.2
+
+
+class TestFig1b:
+    def test_curves_have_per_epoch_series(self):
+        curves = run_fig1b(epochs=2)
+        assert {c.method for c in curves} == {"pagraph_low", "2pgraph"}
+        for c in curves:
+            assert len(c.epoch_times_ms) == 2
+            assert len(c.accuracies) == 2
+
+    def test_2pgraph_faster(self):
+        curves = run_fig1b(epochs=2)
+        by = {c.method: c for c in curves}
+        assert (
+            sum(by["2pgraph"].epoch_times_ms)
+            < sum(by["pagraph_low"].epoch_times_ms)
+        )

@@ -1,0 +1,99 @@
+"""Result-type tests for fig1/fig6 helpers using synthetic records."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TaskSpec, TrainingConfig
+from repro.experiments.fig6 import Fig6Result
+from repro.graphs.profiling import GraphProfile
+from repro.runtime.profiler import GroundTruthRecord
+
+
+def _profile() -> GraphProfile:
+    return GraphProfile(
+        name="synthetic",
+        num_nodes=1000,
+        num_edges=8000,
+        feature_dim=32,
+        num_classes=8,
+        avg_degree=8.0,
+        max_degree=100,
+        degree_std=10.0,
+        degree_skew=3.0,
+        powerlaw_exponent=2.2,
+        feature_bytes=128000,
+    )
+
+
+def _record(config: TrainingConfig, time_s, mem, acc) -> GroundTruthRecord:
+    return GroundTruthRecord(
+        config=config,
+        task=TaskSpec(dataset="synthetic", arch="sage", epochs=1),
+        graph_profile=_profile(),
+        time_s=time_s,
+        memory_bytes=mem,
+        accuracy=acc,
+        mean_batch_nodes=500.0,
+        mean_batch_edges=2500.0,
+        hit_rate=0.5,
+        t_sample=1e-3,
+        t_transfer=1e-3,
+        t_replace=0.0,
+        t_compute=1e-3,
+        num_batches=4,
+    )
+
+
+@pytest.fixture()
+def fig6_result() -> Fig6Result:
+    configs = [
+        TrainingConfig(batch_size=128),
+        TrainingConfig(batch_size=256),
+        TrainingConfig(batch_size=512),
+    ]
+    records = [
+        _record(configs[0], 1.0, 100.0, 0.9),   # slow, lean, accurate
+        _record(configs[1], 0.5, 200.0, 0.8),   # fast, mid
+        _record(configs[2], 2.0, 400.0, 0.7),   # dominated everywhere
+    ]
+    result = Fig6Result(
+        records=records,
+        guideline_configs={"balance": configs[0], "ex_tm": configs[2]},
+    )
+    result.guideline_indices = {"balance": 0, "ex_tm": 2}
+    return result
+
+
+class TestFig6Result:
+    def test_objectives_orientation(self, fig6_result):
+        objs = fig6_result.objectives()
+        assert objs.shape == (3, 3)
+        # error rate column: 1 - accuracy.
+        np.testing.assert_allclose(objs[:, 2], [0.1, 0.2, 0.3])
+
+    def test_plane_projection(self, fig6_result):
+        plane = fig6_result.plane((0, 1))
+        np.testing.assert_allclose(plane[:, 0], [1.0, 0.5, 2.0])
+
+    def test_front_excludes_dominated(self, fig6_result):
+        front = fig6_result.front_indices((0, 1))
+        assert 2 not in front
+        assert set(front) == {0, 1}
+
+    def test_guideline_on_front_detection(self, fig6_result):
+        assert fig6_result.guideline_on_front("balance", (0, 1))
+        assert not fig6_result.guideline_on_front("ex_tm", (0, 1))
+
+    def test_accuracy_plane_front(self, fig6_result):
+        # memory vs error: (100, .1), (200, .2), (400, .3):
+        # the first dominates both others.
+        front = fig6_result.front_indices((1, 2))
+        assert list(front) == [0]
+
+    def test_3d_nondominance(self, fig6_result):
+        # balance's record (1.0, 100, 0.1err) is 3-D Pareto-optimal;
+        # ex_tm's record (2.0, 400, 0.3err) is dominated by it everywhere.
+        assert fig6_result.guideline_nondominated("balance")
+        assert not fig6_result.guideline_nondominated("ex_tm")

@@ -1,0 +1,46 @@
+"""Table 1 rendering tests on synthetic blocks (no profiling needed)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import Table1Block, Table1Row, render_table1
+
+
+def _block() -> Table1Block:
+    rows = [
+        Table1Row("pyg", 0.010, 10e6, 0.90, "base"),
+        Table1Row("pagraph_full", 0.005, 15e6, 0.90, "cache"),
+        Table1Row("pagraph_low", 0.009, 11e6, 0.90, "small cache"),
+        Table1Row("2pgraph", 0.005, 9e6, 0.87, "biased"),
+        Table1Row("balance", 0.004, 10e6, 0.91, "bal"),
+        Table1Row("ex_tm", 0.003, 7e6, 0.88, "tm"),
+        Table1Row("ex_ma", 0.006, 8e6, 0.92, "ma"),
+        Table1Row("ex_ta", 0.004, 12e6, 0.91, "ta"),
+    ]
+    return Table1Block(label="PR + SAGE", dataset="pr", arch="sage", rows=rows)
+
+
+class TestTable1Rendering:
+    def test_contains_paper_annotations(self):
+        text = render_table1([_block()])
+        # PyG row is the unannotated baseline.
+        assert "PyG" in text
+        # Speedup annotation relative to PyG (paper style "2.0x").
+        assert "(2.0x)" in text
+        # Memory delta annotation.
+        assert "(+50.0%)" in text
+
+    def test_all_method_labels_present(self):
+        text = render_table1([_block()])
+        for label in ("Pa-Full", "Pa-Low", "2P", "Bal", "Ex-TM", "Ex-MA", "Ex-TA"):
+            assert label in text
+
+    def test_block_accessors(self):
+        block = _block()
+        assert block.baseline.method == "pyg"
+        assert block.row("ex_tm").time_s == 0.003
+
+    def test_missing_method_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            _block().row("dgl")

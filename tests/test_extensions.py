@@ -1,0 +1,168 @@
+"""Tests for the extension features: cluster sampler, energy model,
+config serialization, time-to-accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TaskSpec, TrainingConfig
+from repro.errors import ConfigError, HardwareError, SamplingError
+from repro.hardware import EnergyBreakdown, EnergyModel, get_platform
+from repro.hardware.memory import MemoryBreakdown
+from repro.runtime import RuntimeBackend
+from repro.runtime.report import BatchRecord, EpochStats, PerfReport
+from repro.sampling import ClusterSampler
+
+
+class TestClusterSampler:
+    def test_batches_are_partition_unions(self, medium_graph, rng):
+        sampler = ClusterSampler(8, parts_per_batch=2, seed=0)
+        targets = rng.choice(medium_graph.num_nodes, 64, replace=False)
+        batch = sampler.sample(medium_graph, targets, rng=rng)
+        partition = sampler._partition
+        parts_in_batch = np.unique(partition[batch.nodes])
+        # Nodes outside the chosen partitions appear only if they were targets.
+        chosen = set(batch.meta["partitions"])
+        stray = batch.nodes[~np.isin(partition[batch.nodes], list(chosen))]
+        assert set(stray.tolist()) <= set(targets.tolist())
+        assert len(parts_in_batch) <= 2 + len(set(partition[targets]))
+
+    def test_targets_always_included(self, medium_graph, rng):
+        sampler = ClusterSampler(8, parts_per_batch=1, seed=0)
+        targets = rng.choice(medium_graph.num_nodes, 32, replace=False)
+        batch = sampler.sample(medium_graph, targets, rng=rng)
+        assert np.all(np.isin(targets, batch.nodes))
+
+    def test_loss_on_all_partition_nodes(self, medium_graph, rng):
+        sampler = ClusterSampler(8, parts_per_batch=2)
+        batch = sampler.sample(medium_graph, np.arange(50), rng=rng)
+        assert batch.num_targets == batch.num_nodes
+
+    def test_trains_in_backend(self, small_graph):
+        cfg = TrainingConfig(
+            batch_size=64, sampler="cluster", hop_list=(2,), hidden_channels=16
+        )
+        task = TaskSpec(dataset="tiny", arch="sage", epochs=2)
+        report = RuntimeBackend(task, cfg, graph=small_graph).train()
+        assert report.accuracy > 0.2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SamplingError):
+            ClusterSampler(0)
+        with pytest.raises(SamplingError):
+            ClusterSampler(4, parts_per_batch=0)
+
+    def test_rejects_empty_targets(self, medium_graph, rng):
+        with pytest.raises(SamplingError):
+            ClusterSampler(4).sample(medium_graph, np.array([]), rng=rng)
+
+
+def _record(t_sample=1e-3, t_transfer=2e-3, t_replace=0.0, t_compute=1e-3, missed=100):
+    return BatchRecord(
+        num_targets=32,
+        num_nodes=400,
+        num_edges=2000,
+        num_missed=missed,
+        num_admitted=0,
+        num_evicted=0,
+        t_sample=t_sample,
+        t_transfer=t_transfer,
+        t_replace=t_replace,
+        t_compute=t_compute,
+        loss=1.0,
+    )
+
+
+class TestEnergyModel:
+    def test_energy_positive_and_additive(self):
+        model = EnergyModel(get_platform("rtx4090"))
+        one = model.batch_energy(_record(), n_attr=96)
+        two = model.records_energy([_record(), _record()], n_attr=96)
+        assert one.total_j > 0
+        assert two.total_j == pytest.approx(2 * one.total_j)
+
+    def test_link_energy_scales_with_missed(self):
+        model = EnergyModel(get_platform("rtx4090"))
+        lo = model.batch_energy(_record(missed=10), n_attr=96)
+        hi = model.batch_energy(_record(missed=1000), n_attr=96)
+        assert hi.link_j > lo.link_j * 50
+
+    def test_edge_platform_cheaper(self):
+        rec = _record()
+        dc = EnergyModel(get_platform("a100")).batch_energy(rec, 96)
+        edge = EnergyModel(get_platform("m90")).batch_energy(rec, 96)
+        assert edge.total_j < dc.total_j
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(HardwareError):
+            EnergyModel(get_platform("a100"), utilization=0.0)
+
+    def test_breakdown_add(self):
+        a = EnergyBreakdown(1.0, 2.0, 3.0)
+        b = EnergyBreakdown(1.0, 1.0, 1.0)
+        assert (a + b).total_j == 9.0
+
+
+class TestConfigSerialization:
+    def test_roundtrip(self):
+        cfg = TrainingConfig(
+            batch_size=128, sampler="biased", bias_rate=0.7, hop_list=(4, 2)
+        )
+        assert TrainingConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_json_compatible(self):
+        import json
+
+        cfg = TrainingConfig()
+        payload = json.dumps(cfg.to_dict())
+        assert TrainingConfig.from_dict(json.loads(payload)) == cfg
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig.from_dict({"warp_speed": 9})
+
+    def test_invalid_values_still_validated(self):
+        data = TrainingConfig().to_dict()
+        data["batch_size"] = -1
+        with pytest.raises(ConfigError):
+            TrainingConfig.from_dict(data)
+
+
+class TestTimeToAccuracy:
+    def _report(self, accs):
+        epochs = [
+            EpochStats(
+                epoch=i,
+                time_s=1.0,
+                t_sample=0,
+                t_transfer=0,
+                t_replace=0,
+                t_compute=0,
+                mean_batch_nodes=0,
+                mean_batch_edges=0,
+                hit_rate=0,
+                loss=0,
+                val_accuracy=a,
+                num_batches=1,
+            )
+            for i, a in enumerate(accs)
+        ]
+        return PerfReport(
+            time_s=1.0,
+            memory=MemoryBreakdown(0, 0, 0),
+            accuracy=accs[-1],
+            epochs=epochs,
+        )
+
+    def test_reached_mid_run(self):
+        rep = self._report([0.3, 0.6, 0.8])
+        assert rep.time_to_accuracy(0.55) == pytest.approx(2.0)
+
+    def test_reached_first_epoch(self):
+        rep = self._report([0.9])
+        assert rep.time_to_accuracy(0.5) == pytest.approx(1.0)
+
+    def test_never_reached(self):
+        rep = self._report([0.3, 0.4])
+        assert rep.time_to_accuracy(0.9) is None

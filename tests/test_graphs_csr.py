@@ -1,0 +1,176 @@
+"""Unit and property tests for the CSR graph container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+
+
+def _triangle() -> CSRGraph:
+    return CSRGraph.from_edges(3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+
+
+class TestConstruction:
+    def test_from_edges_symmetrises(self):
+        g = CSRGraph.from_edges(3, np.array([0]), np.array([1]))
+        assert g.num_edges == 2
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == [0]
+
+    def test_from_edges_drops_self_loops(self):
+        g = CSRGraph.from_edges(3, np.array([0, 1]), np.array([0, 2]))
+        assert g.num_edges == 2  # only 1-2 kept, symmetrised
+
+    def test_from_edges_deduplicates(self):
+        g = CSRGraph.from_edges(2, np.array([0, 0, 0]), np.array([1, 1, 1]))
+        assert g.num_edges == 2
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([1, 2]), indices=np.array([0]))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([0, 2, 1]), indices=np.array([0, 1]))
+
+    def test_rejects_mismatched_tail(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([0, 1]), indices=np.array([0, 0]))
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([0, 1]), indices=np.array([5]))
+
+    def test_rejects_feature_row_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(
+                3,
+                np.array([0]),
+                np.array([1]),
+                features=np.zeros((2, 4), dtype=np.float32),
+            )
+
+    def test_rejects_edge_shape_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(3, np.array([0, 1]), np.array([1]))
+
+
+class TestViews:
+    def test_degree_matches_neighbors(self):
+        g = _triangle()
+        for v in range(3):
+            assert g.degree(v) == g.neighbors(v).size == 2
+
+    def test_degrees_vector(self):
+        g = _triangle()
+        assert np.array_equal(g.degrees, [2, 2, 2])
+
+    def test_neighbors_out_of_range(self):
+        with pytest.raises(GraphError):
+            _triangle().neighbors(3)
+
+    def test_degree_out_of_range(self):
+        with pytest.raises(GraphError):
+            _triangle().degree(-1)
+
+    def test_to_coo_roundtrip(self):
+        g = _triangle()
+        src, dst = g.to_coo()
+        g2 = CSRGraph.from_edges(3, src, dst, symmetrize=False)
+        assert np.array_equal(g.indptr, g2.indptr)
+        assert np.array_equal(g.indices, g2.indices)
+
+    def test_memory_bytes_counts_everything(self):
+        g = CSRGraph.from_edges(
+            3,
+            np.array([0]),
+            np.array([1]),
+            features=np.zeros((3, 4), dtype=np.float32),
+            labels=np.zeros(3, dtype=np.int64),
+        )
+        expected = g.indptr.nbytes + g.indices.nbytes + 3 * 4 * 4 + 3 * 8
+        assert g.memory_bytes() == expected
+
+
+class TestGatherNeighborhoods:
+    def test_empty_input(self, medium_graph):
+        src, dst = medium_graph.gather_neighborhoods(np.array([], dtype=np.int64))
+        assert src.size == dst.size == 0
+
+    def test_matches_python_loop(self, medium_graph, rng):
+        nodes = rng.choice(medium_graph.num_nodes, 50, replace=False)
+        nodes = np.sort(nodes)
+        src, dst = medium_graph.gather_neighborhoods(nodes)
+        expected_dst = np.concatenate(
+            [medium_graph.neighbors(int(v)) for v in nodes]
+        )
+        expected_src = np.concatenate(
+            [np.full(medium_graph.degree(int(v)), v) for v in nodes]
+        )
+        assert np.array_equal(dst, expected_dst)
+        assert np.array_equal(src, expected_src)
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = CSRGraph.from_edges(
+            4, np.array([0, 1, 2]), np.array([1, 2, 3])
+        )
+        sub, nodes = g.induced_subgraph(np.array([0, 1, 2]))
+        assert np.array_equal(nodes, [0, 1, 2])
+        assert sub.num_nodes == 3
+        # edges 0-1 and 1-2 survive (symmetrised), 2-3 is cut.
+        assert sub.num_edges == 4
+
+    def test_relabelling_consistent(self, medium_graph, rng):
+        nodes = np.sort(rng.choice(medium_graph.num_nodes, 120, replace=False))
+        sub, kept = medium_graph.induced_subgraph(nodes)
+        for local in range(0, sub.num_nodes, 17):
+            global_id = kept[local]
+            local_nbrs = kept[sub.neighbors(local)]
+            expected = np.intersect1d(medium_graph.neighbors(int(global_id)), kept)
+            assert np.array_equal(np.sort(local_nbrs), expected)
+
+    def test_slices_features_and_labels(self, small_graph):
+        sub, nodes = small_graph.induced_subgraph(np.arange(10))
+        assert sub.features.shape == (10, small_graph.feature_dim)
+        assert np.array_equal(sub.labels, small_graph.labels[nodes])
+
+    def test_rejects_out_of_range(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.induced_subgraph(np.array([small_graph.num_nodes]))
+
+    def test_rows_remain_sorted(self, medium_graph, rng):
+        nodes = np.sort(rng.choice(medium_graph.num_nodes, 200, replace=False))
+        sub, _ = medium_graph.induced_subgraph(nodes)
+        for v in range(0, sub.num_nodes, 23):
+            row = sub.neighbors(v)
+            assert np.all(np.diff(row) >= 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    edges=st.lists(
+        st.tuples(st.integers(0, 29), st.integers(0, 29)), min_size=1, max_size=80
+    ),
+)
+def test_from_edges_properties(n, edges):
+    """Symmetry, dedup and degree-sum invariants on arbitrary edge lists."""
+    src = np.array([min(a, n - 1) for a, _ in edges])
+    dst = np.array([min(b, n - 1) for _, b in edges])
+    g = CSRGraph.from_edges(n, src, dst)
+    # Degree sum equals edge slots.
+    assert int(g.degrees.sum()) == g.num_edges
+    # Symmetry: u in N(v) <=> v in N(u); no self loops; no duplicates.
+    for v in range(n):
+        nbrs = g.neighbors(v)
+        assert v not in nbrs
+        assert np.unique(nbrs).size == nbrs.size
+        for u in nbrs:
+            assert v in g.neighbors(int(u))

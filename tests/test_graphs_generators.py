@@ -1,0 +1,262 @@
+"""Generator, dataset, profiling, partition and reorder tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import (
+    DATASETS,
+    apply_order,
+    bfs_order,
+    bfs_partition,
+    cache_priority_order,
+    degree_histogram,
+    degree_order,
+    load_dataset,
+    locality_score,
+    partition_locality,
+    powerlaw_community_graph,
+    powerlaw_degrees,
+    powerlaw_exponent_mle,
+    powerlaw_graph,
+    profile_graph,
+    reorder_graph,
+    train_val_test_split,
+)
+
+
+class TestPowerlawDegrees:
+    def test_range_respected(self):
+        rng = np.random.default_rng(0)
+        deg = powerlaw_degrees(1000, min_degree=3, max_degree=50, rng=rng)
+        assert deg.min() >= 3 and deg.max() <= 50
+
+    def test_even_sum(self):
+        rng = np.random.default_rng(1)
+        deg = powerlaw_degrees(999, rng=rng)
+        assert deg.sum() % 2 == 0
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        rng = np.random.default_rng(2)
+        flat = powerlaw_degrees(5000, exponent=1.5, max_degree=100, rng=rng)
+        steep = powerlaw_degrees(5000, exponent=3.5, max_degree=100, rng=rng)
+        assert flat.mean() > steep.mean()
+
+    def test_rejects_bad_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(GraphError):
+            powerlaw_degrees(0, rng=rng)
+        with pytest.raises(GraphError):
+            powerlaw_degrees(10, exponent=0.5, rng=rng)
+        with pytest.raises(GraphError):
+            powerlaw_degrees(10, min_degree=20, max_degree=5, rng=rng)
+
+
+class TestCommunityGraph:
+    def test_reproducible(self):
+        g1 = powerlaw_community_graph(300, seed=5)
+        g2 = powerlaw_community_graph(300, seed=5)
+        assert np.array_equal(g1.indices, g2.indices)
+        assert np.array_equal(g1.features, g2.features)
+
+    def test_homophily_raises_intra_edges(self):
+        lo = powerlaw_community_graph(2000, homophily=0.1, num_classes=4, seed=1)
+        hi = powerlaw_community_graph(2000, homophily=0.9, num_classes=4, seed=1)
+
+        def intra_fraction(g):
+            src, dst = g.to_coo()
+            return float(np.mean(g.labels[src] == g.labels[dst]))
+
+        assert intra_fraction(hi) > intra_fraction(lo) + 0.2
+
+    def test_feature_noise_controls_separability(self):
+        clean = powerlaw_community_graph(500, feature_noise=0.1, seed=2)
+        noisy = powerlaw_community_graph(500, feature_noise=5.0, seed=2)
+
+        def centroid_spread(g):
+            spread = 0.0
+            for c in range(g.num_classes):
+                members = g.features[g.labels == c]
+                if members.shape[0] > 1:
+                    spread += float(members.std())
+            return spread
+
+        assert centroid_spread(noisy) > centroid_spread(clean)
+
+    def test_rejects_bad_homophily(self):
+        with pytest.raises(GraphError):
+            powerlaw_community_graph(100, homophily=1.5)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(GraphError):
+            powerlaw_community_graph(100, num_classes=1)
+
+    def test_topology_only_variant(self):
+        g = powerlaw_graph(500, seed=3)
+        assert g.features is None and g.labels is None
+        assert g.num_edges > 0
+
+
+class TestDatasets:
+    def test_aliases_resolve(self):
+        assert load_dataset("ar") is load_dataset("ogbn-arxiv")
+        assert load_dataset("pr") is load_dataset("products")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(GraphError):
+            load_dataset("cora")
+
+    def test_relative_scale_ordering(self):
+        pr = load_dataset("pr")
+        ar = load_dataset("ar")
+        rd = load_dataset("rd")
+        rd2 = load_dataset("rd2")
+        assert pr.num_nodes > rd.num_nodes > ar.num_nodes
+        # Reddit denser than its sparsified re-release Reddit2.
+        assert rd.num_edges / rd.num_nodes > rd2.num_edges / rd2.num_nodes
+
+    def test_registry_has_class_counts(self):
+        for spec in set(DATASETS.values()):
+            assert spec.num_classes >= 2
+
+    def test_split_disjoint_and_complete(self):
+        train, val, test = train_val_test_split(100, seed=1)
+        merged = np.concatenate([train, val, test])
+        assert np.array_equal(np.sort(merged), np.arange(100))
+
+    def test_split_fractions(self):
+        train, val, test = train_val_test_split(1000, train_frac=0.5, val_frac=0.25)
+        assert train.size == 500 and val.size == 250 and test.size == 250
+
+    def test_split_rejects_overflow(self):
+        with pytest.raises(GraphError):
+            train_val_test_split(10, train_frac=0.8, val_frac=0.3)
+
+
+class TestProfiling:
+    def test_profile_fields(self, medium_graph):
+        p = profile_graph(medium_graph)
+        assert p.num_nodes == medium_graph.num_nodes
+        assert p.avg_degree == pytest.approx(medium_graph.degrees.mean())
+        assert p.max_degree == medium_graph.degrees.max()
+        assert p.feature_dim == medium_graph.feature_dim
+
+    def test_degree_histogram_counts(self, medium_graph):
+        values, counts = degree_histogram(medium_graph)
+        assert counts.sum() == medium_graph.num_nodes
+        assert np.all(counts > 0)
+
+    def test_mle_recovers_exponent_roughly(self):
+        rng = np.random.default_rng(4)
+        deg = powerlaw_degrees(
+            50_000, exponent=2.5, min_degree=2, max_degree=500, rng=rng
+        )
+        est = powerlaw_exponent_mle(deg, k_min=2)
+        assert 2.0 < est < 3.0
+
+    def test_mle_degenerate_returns_inf(self):
+        # No degree reaches k_min => nothing to estimate from.
+        assert powerlaw_exponent_mle(np.array([1, 1, 1]), k_min=5) == float("inf")
+
+    def test_as_features_finite_for_real_graph(self, medium_graph):
+        feats = profile_graph(medium_graph).as_features()
+        assert np.all(np.isfinite(feats))
+
+
+class TestPartition:
+    def test_partition_covers_all(self, medium_graph):
+        part = bfs_partition(medium_graph, 8)
+        assert part.min() >= 0 and part.max() < 8
+        assert part.shape == (medium_graph.num_nodes,)
+
+    def test_partition_balanced(self, medium_graph):
+        # BFS growth respects the per-region target; the round-robin fill of
+        # unreached vertices may overshoot slightly.
+        part = bfs_partition(medium_graph, 4)
+        sizes = np.bincount(part)
+        target = -(-medium_graph.num_nodes // 4)
+        assert sizes.max() <= int(target * 1.1)
+
+    def test_locality_better_than_random(self, medium_graph):
+        part = bfs_partition(medium_graph, 8)
+        rng = np.random.default_rng(0)
+        random_part = rng.integers(0, 8, medium_graph.num_nodes)
+        assert partition_locality(part, medium_graph) > partition_locality(
+            random_part, medium_graph
+        )
+
+    def test_rejects_bad_counts(self, medium_graph):
+        with pytest.raises(GraphError):
+            bfs_partition(medium_graph, 0)
+        with pytest.raises(GraphError):
+            bfs_partition(medium_graph, medium_graph.num_nodes + 1)
+
+    def test_cache_priority_is_degree_descending(self, medium_graph):
+        order = cache_priority_order(medium_graph)
+        degs = medium_graph.degrees[order]
+        assert np.all(np.diff(degs) <= 0)
+
+
+class TestReorder:
+    def test_degree_order_permutation(self, medium_graph):
+        order = degree_order(medium_graph)
+        assert np.unique(order).size == medium_graph.num_nodes
+
+    def test_bfs_order_covers_components(self, medium_graph):
+        order = bfs_order(medium_graph)
+        assert np.unique(order).size == medium_graph.num_nodes
+
+    def test_apply_order_preserves_structure(self, small_graph):
+        order = degree_order(small_graph)
+        reordered = apply_order(small_graph, order)
+        assert reordered.num_nodes == small_graph.num_nodes
+        assert reordered.num_edges == small_graph.num_edges
+        # Degree multiset preserved.
+        assert np.array_equal(
+            np.sort(reordered.degrees), np.sort(small_graph.degrees)
+        )
+
+    def test_apply_order_moves_features(self, small_graph):
+        order = degree_order(small_graph)
+        reordered = apply_order(small_graph, order)
+        np.testing.assert_array_equal(reordered.features[0], small_graph.features[order[0]])
+        np.testing.assert_array_equal(reordered.labels, small_graph.labels[order])
+
+    def test_apply_order_rejects_non_permutation(self, small_graph):
+        with pytest.raises(GraphError):
+            apply_order(small_graph, np.zeros(small_graph.num_nodes, dtype=np.int64))
+
+    def test_bfs_improves_locality(self, medium_graph):
+        shuffled = apply_order(
+            medium_graph, np.random.default_rng(5).permutation(medium_graph.num_nodes)
+        )
+        improved = reorder_graph(shuffled, "bfs")
+        assert locality_score(improved) > locality_score(shuffled)
+
+    def test_reorder_none_is_identity(self, small_graph):
+        assert reorder_graph(small_graph, "none") is small_graph
+
+    def test_unknown_strategy(self, small_graph):
+        with pytest.raises(GraphError):
+            reorder_graph(small_graph, "hilbert")
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(50, 400),
+    classes=st.integers(2, 8),
+    seed=st.integers(0, 100),
+)
+def test_community_graph_properties(n, classes, seed):
+    """Generated graphs are valid CSR with consistent labels/features."""
+    g = powerlaw_community_graph(
+        n, num_classes=classes, feature_dim=8, seed=seed
+    )
+    assert g.num_nodes == n
+    assert g.labels.min() >= 0 and g.labels.max() < classes
+    assert g.features.shape == (n, 8)
+    assert int(g.degrees.sum()) == g.num_edges

@@ -1,0 +1,190 @@
+"""GNN layer and model tests: shapes, gradients, training behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, default_dtype, nll_loss, no_grad
+from repro.nn import (
+    GATConv,
+    GCNConv,
+    GNN,
+    Linear,
+    Propagation,
+    SAGEConv,
+    build_model,
+)
+from repro.nn.models import count_parameters
+from tests.test_autograd_tensor import check_gradient
+
+
+def _line_prop(n: int = 5) -> Propagation:
+    """Path graph 0-1-...-n-1 as a Propagation."""
+    src = np.concatenate([np.arange(n - 1), np.arange(1, n)])
+    dst = np.concatenate([np.arange(1, n), np.arange(n - 1)])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return Propagation(indptr, dst, n)
+
+
+class TestLinear:
+    def test_shapes(self):
+        lin = Linear(4, 3, rng=np.random.default_rng(0))
+        out = lin(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+
+    def test_no_bias(self):
+        lin = Linear(4, 3, bias=False, rng=np.random.default_rng(0))
+        assert lin.bias is None
+        assert sum(1 for _ in lin.parameters()) == 1
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_gradient(self):
+        with default_dtype(np.float64):
+            lin = Linear(3, 2, rng=np.random.default_rng(1))
+            check_gradient(lambda t: lin(t), (4, 3), seed=1)
+
+
+class TestConvLayers:
+    @pytest.mark.parametrize("cls", [GCNConv, SAGEConv])
+    def test_conv_shapes(self, cls):
+        prop = _line_prop(6)
+        layer = cls(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((6, 4))), prop)
+        assert out.shape == (6, 3)
+
+    def test_gat_shapes_concat(self):
+        prop = _line_prop(6)
+        layer = GATConv(4, 3, heads=2, concat_heads=True, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((6, 4))), prop)
+        assert out.shape == (6, 6)
+
+    def test_gat_shapes_mean(self):
+        prop = _line_prop(6)
+        layer = GATConv(4, 3, heads=2, concat_heads=False, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((6, 4))), prop)
+        assert out.shape == (6, 3)
+
+    def test_gat_rejects_bad_heads(self):
+        with pytest.raises(ValueError):
+            GATConv(4, 3, heads=0)
+
+    @pytest.mark.parametrize("cls", [GCNConv, SAGEConv])
+    def test_conv_gradient(self, cls):
+        with default_dtype(np.float64):
+            prop = _line_prop(5)
+            layer = cls(3, 2, rng=np.random.default_rng(2))
+            check_gradient(lambda t: layer(t, prop), (5, 3), seed=2)
+
+    def test_gat_gradient(self):
+        with default_dtype(np.float64):
+            prop = _line_prop(5)
+            layer = GATConv(3, 2, heads=2, rng=np.random.default_rng(3))
+            check_gradient(lambda t: layer(t, prop), (5, 3), seed=3, atol=1e-4)
+
+    def test_gcn_respects_isolated_nodes(self):
+        # Node 2 isolated: output = normalised self-loop only, finite.
+        indptr = np.array([0, 1, 2, 2])
+        indices = np.array([1, 0])
+        prop = Propagation(indptr, indices, 3)
+        layer = GCNConv(2, 2, rng=np.random.default_rng(4))
+        out = layer(Tensor(np.ones((3, 2))), prop)
+        assert np.all(np.isfinite(out.numpy()))
+
+
+class TestPropagation:
+    def test_edge_matrices_shapes(self):
+        prop = _line_prop(4)
+        mats = prop.edge_matrices()
+        e = prop.indices.size + 4  # + self loops
+        assert mats["gather_src"].shape == (e, 4)
+        assert mats["scatter_dst"].shape == (4, e)
+
+    def test_edge_matrices_cached(self):
+        prop = _line_prop(4)
+        assert prop.edge_matrices() is prop.edge_matrices()
+
+    def test_row_t_is_transpose(self):
+        prop = _line_prop(4)
+        np.testing.assert_allclose(
+            prop.row_t.toarray(), prop.row.toarray().T, rtol=1e-6
+        )
+
+
+class TestGNNModels:
+    @pytest.mark.parametrize("arch", ["gcn", "sage", "gat"])
+    def test_forward_is_log_distribution(self, arch):
+        prop = _line_prop(8)
+        model = build_model(arch, 4, 3, hidden_channels=8, heads=2, seed=0)
+        model.eval()
+        with no_grad():
+            out = model(Tensor(np.random.default_rng(0).normal(size=(8, 4))), prop)
+        probs = np.exp(out.numpy())
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-4)
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("transformer", 4, 3)
+
+    def test_bad_layers_rejected(self):
+        with pytest.raises(ValueError):
+            GNN("sage", 4, 8, 3, num_layers=0)
+
+    @pytest.mark.parametrize("arch", ["gcn", "sage", "gat"])
+    def test_count_parameters_matches_build(self, arch):
+        model = build_model(arch, 12, 7, hidden_channels=16, heads=4, seed=0)
+        counted = count_parameters(arch, 12, 7, hidden_channels=16, heads=4)
+        assert model.num_parameters() == counted
+
+    def test_three_layer_count_matches(self):
+        model = build_model("sage", 10, 4, hidden_channels=8, num_layers=3)
+        counted = count_parameters("sage", 10, 4, hidden_channels=8, num_layers=3)
+        assert model.num_parameters() == counted
+
+    def test_training_reduces_loss(self, small_graph):
+        from repro.nn import Adam
+
+        prop = Propagation.from_graph(small_graph)
+        model = build_model(
+            "sage", small_graph.feature_dim, small_graph.num_classes,
+            hidden_channels=16, seed=0,
+        )
+        opt = Adam(model.parameters(), lr=0.02)
+        x = Tensor(small_graph.features)
+        first = None
+        for _ in range(12):
+            model.train()
+            opt.zero_grad()
+            loss = nll_loss(model(x, prop), small_graph.labels)
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+        assert loss.item() < first * 0.7
+
+    def test_state_dict_roundtrip(self):
+        model = build_model("gcn", 4, 3, hidden_channels=8, seed=0)
+        state = model.state_dict()
+        model2 = build_model("gcn", 4, 3, hidden_channels=8, seed=99)
+        model2.load_state_dict(state)
+        for p1, p2 in zip(model.parameters(), model2.parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = build_model("gcn", 4, 3, hidden_channels=8)
+        other = build_model("gcn", 4, 3, hidden_channels=16)
+        with pytest.raises(ValueError):
+            model.load_state_dict(other.state_dict())
+
+    def test_train_eval_mode_propagates(self):
+        model = build_model("sage", 4, 3)
+        model.eval()
+        assert all(not m.training for _, m in model.named_modules())
+        model.train()
+        assert all(m.training for _, m in model.named_modules())

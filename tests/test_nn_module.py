@@ -1,0 +1,73 @@
+"""Module/Parameter discovery edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones((2, 2)))
+
+    def forward(self, x):
+        return x @ self.w
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Leaf()
+        self.children = [Leaf(), Leaf()]
+        self.extras = (Parameter(np.ones(3)),)
+
+    def forward(self, x):
+        return self.a(x)
+
+
+class TestDiscovery:
+    def test_counts_nested_and_sequence_params(self):
+        tree = Tree()
+        params = list(tree.parameters())
+        # 3 leaves x 1 param + 1 loose parameter in a tuple.
+        assert len(params) == 4
+        assert tree.num_parameters() == 3 * 4 + 3
+
+    def test_shared_parameter_yielded_once(self):
+        tree = Tree()
+        tree.b = tree.a  # alias the same module
+        assert len(list(tree.parameters())) == 4
+
+    def test_named_modules_paths(self):
+        names = dict(Tree().named_modules())
+        assert any(".a" in n or n == "a" for n in names)
+        assert any("[0]" in n for n in names)
+
+    def test_zero_grad_clears_all(self):
+        tree = Tree()
+        for p in tree.parameters():
+            p.grad = np.ones_like(p.data)
+        tree.zero_grad()
+        assert all(p.grad is None for p in tree.parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))
+
+    def test_state_dict_shape_guard(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["param_0"] = np.ones((5, 5))
+        with pytest.raises(ValueError):
+            tree.load_state_dict(state)
+
+    def test_state_dict_count_guard(self):
+        tree = Tree()
+        state = tree.state_dict()
+        del state["param_0"]
+        with pytest.raises(ValueError):
+            tree.load_state_dict(state)

@@ -1,0 +1,119 @@
+"""Optimizer and metric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import SGD, Adam
+from repro.nn.metrics import accuracy, confusion_matrix, macro_f1
+from repro.nn.module import Parameter
+
+
+def _quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def _step_quadratic(opt, p, steps=200):
+    for _ in range(steps):
+        opt.zero_grad()
+        # d/dp (p-3)^2 = 2(p-3)
+        p.grad = 2.0 * (p.data - 3.0)
+        opt.step()
+    return float(p.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        final = _step_quadratic(SGD([p], lr=0.1), p)
+        assert final == pytest.approx(3.0, abs=1e-4)
+
+    def test_momentum_converges(self):
+        p = _quadratic_param()
+        final = _step_quadratic(SGD([p], lr=0.05, momentum=0.9), p)
+        assert final == pytest.approx(3.0, abs=1e-3)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([_quadratic_param()], lr=0.1, momentum=1.5)
+
+    def test_state_factor(self):
+        assert SGD([_quadratic_param()], lr=0.1).state_factor == 0.0
+        assert SGD([_quadratic_param()], lr=0.1, momentum=0.5).state_factor == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        final = _step_quadratic(Adam([p], lr=0.1), p)
+        assert final == pytest.approx(3.0, abs=1e-3)
+
+    def test_skips_none_grads(self):
+        p = _quadratic_param()
+        opt = Adam([p], lr=0.1)
+        before = p.data.copy()
+        opt.step()  # no gradient set
+        np.testing.assert_array_equal(p.data, before)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=0.5)
+        for _ in range(100):
+            opt.zero_grad()
+            p.grad = np.zeros(1)
+            opt.step()
+        assert abs(float(p.data[0])) < 10.0
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([_quadratic_param()], lr=-1.0)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([_quadratic_param()], lr=0.1, betas=(1.0, 0.999))
+
+    def test_state_factor_is_two(self):
+        assert Adam([_quadratic_param()], lr=0.1).state_factor == 2.0
+
+    def test_zero_grad_clears(self):
+        p = _quadratic_param()
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestMetrics:
+    def test_accuracy_perfect(self):
+        logp = np.log(np.array([[0.9, 0.1], [0.1, 0.9]]))
+        assert accuracy(logp, np.array([0, 1])) == 1.0
+
+    def test_accuracy_half(self):
+        logp = np.log(np.array([[0.9, 0.1], [0.9, 0.1]]))
+        assert accuracy(logp, np.array([0, 1])) == 0.5
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int)) == 0.0
+
+    def test_accuracy_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 2)), np.zeros(3, dtype=int))
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 0]), 2)
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 1]])
+
+    def test_macro_f1_perfect(self):
+        logp = np.log(np.array([[0.9, 0.1], [0.1, 0.9]]))
+        assert macro_f1(logp, np.array([0, 1]), 2) == pytest.approx(1.0)
+
+    def test_macro_f1_skips_absent_classes(self):
+        logp = np.log(np.array([[0.9, 0.1, 1e-9], [0.1, 0.9, 1e-9]]))
+        # Class 2 absent from targets; F1 averaged over classes 0 and 1 only.
+        assert macro_f1(logp, np.array([0, 1]), 3) == pytest.approx(1.0)

@@ -1,0 +1,126 @@
+"""Hypothesis property tests for cross-cutting invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimator.validation import r2_score
+from repro.explorer.pareto import pareto_mask
+from repro.hardware import DeviceCache, get_platform, t_sample, t_transfer
+from repro.hardware.costmodel import model_costing, t_compute
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(0, 50),
+    policy=st.sampled_from(["none", "fifo", "lru"]),
+    ops=st.lists(
+        st.lists(st.integers(0, 99), min_size=1, max_size=20),
+        min_size=1,
+        max_size=15,
+    ),
+)
+def test_cache_occupancy_never_exceeds_capacity(capacity, policy, ops):
+    """Under any lookup/update sequence the cache respects its capacity."""
+    cache = DeviceCache(100, capacity, policy=policy)
+    for batch in ops:
+        nodes = np.array(batch, dtype=np.int64)
+        mask = cache.lookup(nodes)
+        cache.update(nodes[~mask])
+        assert cache.occupancy <= cache.capacity
+        assert cache.hot_nodes().size == cache.occupancy
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(1, 50),
+    batches=st.lists(
+        st.lists(st.integers(0, 99), min_size=1, max_size=10),
+        min_size=2,
+        max_size=10,
+    ),
+)
+def test_cache_hits_only_resident_vertices(capacity, batches):
+    """A lookup hit implies the vertex was admitted earlier and not evicted."""
+    cache = DeviceCache(100, capacity, policy="lru")
+    ever_admitted: set[int] = set()
+    for batch in batches:
+        nodes = np.array(batch, dtype=np.int64)
+        mask = cache.lookup(nodes)
+        for node, hit in zip(nodes, mask):
+            if hit:
+                assert int(node) in ever_admitted
+        cache.update(nodes[~mask])
+        ever_admitted.update(cache.hot_nodes().tolist())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    expanded=st.integers(0, 100_000),
+    missed=st.integers(0, 50_000),
+    n_attr=st.integers(1, 600),
+)
+def test_cost_functions_nonnegative_and_monotone(expanded, missed, n_attr):
+    platform = get_platform("rtx4090")
+    t1 = t_sample(expanded, platform)
+    t2 = t_sample(expanded + 1000, platform)
+    assert 0 <= t1 <= t2
+    tr1 = t_transfer(missed, n_attr, platform)
+    tr2 = t_transfer(missed + 100, n_attr, platform)
+    assert 0 <= tr1 <= tr2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nodes=st.integers(1, 20_000),
+    edges=st.integers(0, 200_000),
+    hidden=st.sampled_from([16, 32, 64, 128]),
+    arch=st.sampled_from(["gcn", "sage", "gat"]),
+)
+def test_compute_time_monotone_in_graph_size(nodes, edges, hidden, arch):
+    platform = get_platform("a100")
+    kwargs = dict(in_dim=64, hidden_dim=hidden, out_dim=16, num_layers=2)
+    small = t_compute(model_costing(arch, nodes, edges, **kwargs), platform)
+    large = t_compute(
+        model_costing(arch, nodes * 2, edges * 2 + 1, **kwargs), platform
+    )
+    assert 0 < small <= large
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_pareto_mask_properties(points):
+    """Front is non-empty; no front point dominates another front point."""
+    objs = np.array(points)
+    mask = pareto_mask(objs)
+    assert mask.any()
+    front = objs[mask]
+    for i in range(front.shape[0]):
+        for j in range(front.shape[0]):
+            if i == j:
+                continue
+            strictly_better = np.all(front[i] <= front[j]) and np.any(
+                front[i] < front[j]
+            )
+            assert not strictly_better
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    y=st.lists(st.floats(-100, 100), min_size=3, max_size=30),
+    noise=st.floats(0, 1),
+)
+def test_r2_upper_bound(y, noise):
+    """R2 of any prediction never exceeds 1."""
+    y_true = np.array(y)
+    rng = np.random.default_rng(0)
+    y_pred = y_true + noise * rng.normal(size=y_true.size)
+    assert r2_score(y_true, y_pred) <= 1.0 + 1e-12

@@ -1,0 +1,94 @@
+"""PerfReport / BatchRecord / EpochStats invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.memory import MemoryBreakdown
+from repro.runtime.report import BatchRecord, EpochStats, PerfReport
+
+
+def _record(**overrides) -> BatchRecord:
+    base = dict(
+        num_targets=64,
+        num_nodes=500,
+        num_edges=3000,
+        num_missed=200,
+        num_admitted=100,
+        num_evicted=50,
+        t_sample=1e-3,
+        t_transfer=2e-3,
+        t_replace=5e-4,
+        t_compute=1e-3,
+        loss=1.5,
+    )
+    base.update(overrides)
+    return BatchRecord(**base)
+
+
+class TestBatchRecord:
+    def test_hit_rate(self):
+        rec = _record(num_nodes=500, num_missed=200)
+        assert rec.hit_rate == pytest.approx(0.6)
+
+    def test_hit_rate_empty_batch(self):
+        assert _record(num_nodes=0, num_missed=0).hit_rate == 0.0
+
+    def test_time_is_eq4_overlap(self):
+        rec = _record(t_sample=1.0, t_transfer=1.0, t_replace=0.1, t_compute=0.5)
+        assert rec.time == 2.0
+        rec = _record(t_sample=0.1, t_transfer=0.1, t_replace=1.0, t_compute=2.0)
+        assert rec.time == 3.0
+
+
+class TestPerfReport:
+    def _report(self) -> PerfReport:
+        epochs = [
+            EpochStats(
+                epoch=i,
+                time_s=0.1 * (i + 1),
+                t_sample=0.01,
+                t_transfer=0.02,
+                t_replace=0.0,
+                t_compute=0.01,
+                mean_batch_nodes=400.0,
+                mean_batch_edges=2000.0,
+                hit_rate=0.5,
+                loss=1.0,
+                val_accuracy=0.7,
+                num_batches=4,
+            )
+            for i in range(3)
+        ]
+        return PerfReport(
+            time_s=0.2,
+            memory=MemoryBreakdown(model=10.0, cache=20.0, runtime=30.0),
+            accuracy=0.75,
+            epochs=epochs,
+        )
+
+    def test_totals(self):
+        rep = self._report()
+        assert rep.total_time_s == pytest.approx(0.6)
+        assert rep.memory.total == 60.0
+        assert rep.mean_hit_rate == pytest.approx(0.5)
+        assert rep.mean_batch_nodes == pytest.approx(400.0)
+
+    def test_objective_vector(self):
+        vec = self._report().objective_vector()
+        np.testing.assert_allclose(vec, [0.2, 60.0, -0.75])
+
+    def test_summary_mentions_metrics(self):
+        s = self._report().summary()
+        assert "ms/epoch" in s and "MiB" in s and "%" in s
+
+    def test_empty_report_defaults(self):
+        rep = PerfReport(
+            time_s=0.0,
+            memory=MemoryBreakdown(0, 0, 0),
+            accuracy=0.0,
+        )
+        assert rep.mean_hit_rate == 0.0
+        assert rep.mean_batch_nodes == 0.0
+        assert rep.total_time_s == 0.0

@@ -1,0 +1,293 @@
+"""Sampler tests: unified abstraction invariants and per-strategy behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.sampling import (
+    BatchIterator,
+    BiasedNeighborSampler,
+    LayerSampler,
+    NeighborSampler,
+    SaintSampler,
+    fanout_step,
+    hot_set_weights,
+    saturating_expectation,
+    tree_growth_bound,
+)
+
+
+class TestFanoutStep:
+    def test_respects_k(self, medium_graph, rng):
+        frontier = np.arange(50)
+        out = fanout_step(medium_graph, frontier, 3, rng=rng)
+        # Every output vertex is a neighbour of some frontier vertex.
+        all_nbrs = np.unique(
+            np.concatenate([medium_graph.neighbors(int(v)) for v in frontier])
+        )
+        assert np.all(np.isin(out, all_nbrs))
+
+    def test_k_larger_than_degree_takes_all(self, medium_graph, rng):
+        frontier = np.array([0])
+        out = fanout_step(medium_graph, frontier, 10_000, rng=rng)
+        assert np.array_equal(out, np.unique(medium_graph.neighbors(0)))
+
+    def test_per_vertex_cap(self, medium_graph, rng):
+        # With k=1 the output size cannot exceed the frontier size.
+        frontier = np.arange(40)
+        out = fanout_step(medium_graph, frontier, 1, rng=rng)
+        assert out.size <= frontier.size
+
+    def test_rejects_nonpositive_k(self, medium_graph, rng):
+        with pytest.raises(SamplingError):
+            fanout_step(medium_graph, np.array([0]), 0, rng=rng)
+
+    def test_weights_bias_selection(self, medium_graph):
+        """Heavily-weighted vertices should be picked far more often."""
+        rng = np.random.default_rng(5)
+        hot = np.arange(200)
+        weights = hot_set_weights(medium_graph.num_nodes, hot, 1.0)
+        frontier = np.arange(200, 400)
+        hot_hits = cold_hits = 0
+        for _ in range(30):
+            picked = fanout_step(medium_graph, frontier, 2, weights=weights, rng=rng)
+            hot_hits += int(np.isin(picked, hot).sum())
+            cold_hits += int((~np.isin(picked, hot)).sum())
+        unbiased_hot = unbiased_cold = 0
+        rng2 = np.random.default_rng(6)
+        for _ in range(30):
+            picked = fanout_step(medium_graph, frontier, 2, rng=rng2)
+            unbiased_hot += int(np.isin(picked, hot).sum())
+            unbiased_cold += int((~np.isin(picked, hot)).sum())
+        biased_ratio = hot_hits / max(hot_hits + cold_hits, 1)
+        unbiased_ratio = unbiased_hot / max(unbiased_hot + unbiased_cold, 1)
+        assert biased_ratio > unbiased_ratio
+
+    def test_rejects_nonpositive_weights(self, medium_graph, rng):
+        weights = np.zeros(medium_graph.num_nodes)
+        with pytest.raises(SamplingError):
+            fanout_step(medium_graph, np.array([0]), 2, weights=weights, rng=rng)
+
+
+class TestNeighborSampler:
+    def test_targets_inside_subgraph(self, medium_graph, rng):
+        sampler = NeighborSampler([5, 3])
+        targets = rng.choice(medium_graph.num_nodes, 64, replace=False)
+        batch = sampler.sample(medium_graph, targets, rng=rng)
+        recovered = batch.nodes[batch.target_index]
+        assert np.array_equal(np.sort(recovered), np.unique(targets))
+
+    def test_batch_grows_with_fanout(self, medium_graph, rng):
+        targets = rng.choice(medium_graph.num_nodes, 64, replace=False)
+        small = NeighborSampler([2]).sample(medium_graph, targets, rng=rng)
+        large = NeighborSampler([8, 4]).sample(medium_graph, targets, rng=rng)
+        assert large.num_nodes > small.num_nodes
+
+    def test_rejects_empty_fanouts(self):
+        with pytest.raises(SamplingError):
+            NeighborSampler([])
+
+    def test_rejects_empty_targets(self, medium_graph, rng):
+        with pytest.raises(SamplingError):
+            NeighborSampler([2]).sample(medium_graph, np.array([]), rng=rng)
+
+    def test_fanout_profile(self):
+        assert NeighborSampler([10, 5]).fanout_profile() == [10.0, 5.0]
+
+    def test_hops(self):
+        assert NeighborSampler([10, 5]).expected_hops() == 2
+
+
+class TestLayerSampler:
+    def test_layer_budget_respected(self, medium_graph, rng):
+        sampler = LayerSampler([100, 50])
+        targets = rng.choice(medium_graph.num_nodes, 64, replace=False)
+        batch = sampler.sample(medium_graph, targets, rng=rng)
+        # |Vi| <= |B0| + Δ1 + Δ2
+        assert batch.num_nodes <= 64 + 100 + 50
+
+    def test_importance_prefers_high_degree(self, medium_graph):
+        rng = np.random.default_rng(3)
+        targets = rng.choice(medium_graph.num_nodes, 200, replace=False)
+        imp = LayerSampler([80], importance=True)
+        uni = LayerSampler([80], importance=False)
+        deg_imp = deg_uni = 0.0
+        for _ in range(15):
+            b1 = imp.sample(medium_graph, targets, rng=rng)
+            b2 = uni.sample(medium_graph, targets, rng=rng)
+            deg_imp += medium_graph.degrees[b1.nodes].mean()
+            deg_uni += medium_graph.degrees[b2.nodes].mean()
+        assert deg_imp > deg_uni
+
+    def test_fanout_profile_eq3(self):
+        sampler = LayerSampler([100, 50])
+        sampler._last_batch_hint = 50
+        profile = sampler.fanout_profile()
+        assert profile[0] == pytest.approx(2.0)  # Δ1/|B0| = 100/50
+        assert profile[1] == pytest.approx(0.5)  # Δ2/Δ1 = 50/100
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(SamplingError):
+            LayerSampler([])
+
+
+class TestSaintSampler:
+    def test_loss_targets_cover_subgraph(self, medium_graph, rng):
+        sampler = SaintSampler(walk_length=4)
+        targets = rng.choice(medium_graph.num_nodes, 64, replace=False)
+        batch = sampler.sample(medium_graph, targets, rng=rng)
+        assert batch.num_targets == batch.num_nodes
+
+    def test_loss_on_roots_only(self, medium_graph, rng):
+        sampler = SaintSampler(walk_length=4, loss_on_all=False)
+        targets = rng.choice(medium_graph.num_nodes, 64, replace=False)
+        batch = sampler.sample(medium_graph, targets, rng=rng)
+        assert batch.num_targets == np.unique(targets).size
+
+    def test_fanout_profile_single_neighbor(self):
+        assert SaintSampler(walk_length=3).fanout_profile() == [1.0, 1.0, 1.0]
+
+    def test_walks_stay_connected(self, medium_graph, rng):
+        """Every visited vertex is reachable within walk_length hops."""
+        sampler = SaintSampler(walk_length=2)
+        targets = np.array([0, 1])
+        batch = sampler.sample(medium_graph, targets, rng=rng)
+        # 2-hop BFS ball around the roots must contain the batch.
+        ball = set(targets.tolist())
+        frontier = set(targets.tolist())
+        for _ in range(2):
+            nxt = set()
+            for v in frontier:
+                nxt.update(medium_graph.neighbors(v).tolist())
+            ball |= nxt
+            frontier = nxt
+        assert set(batch.nodes.tolist()) <= ball
+
+    def test_rejects_bad_walk_length(self):
+        with pytest.raises(SamplingError):
+            SaintSampler(walk_length=0)
+
+
+class TestBiasedSampler:
+    def test_zero_bias_matches_unbiased_distribution(self, medium_graph):
+        rng1 = np.random.default_rng(9)
+        rng2 = np.random.default_rng(9)
+        targets = np.arange(100)
+        biased = BiasedNeighborSampler([4, 2], bias_rate=0.0)
+        plain = NeighborSampler([4, 2])
+        b1 = biased.sample(medium_graph, targets, rng=rng1)
+        b2 = plain.sample(medium_graph, targets, rng=rng2)
+        # Identical RNG stream + no weights => identical samples.
+        assert np.array_equal(b1.nodes, b2.nodes)
+
+    def test_bias_concentrates_on_hot_set(self, medium_graph):
+        rng = np.random.default_rng(10)
+        hot = np.arange(300)
+        targets = np.arange(300, 500)
+        biased = BiasedNeighborSampler([4, 2], bias_rate=1.0, hot_nodes=hot)
+        plain = NeighborSampler([4, 2])
+        hot_frac_b = hot_frac_p = 0.0
+        for _ in range(10):
+            bb = biased.sample(medium_graph, targets, rng=rng)
+            bp = plain.sample(medium_graph, targets, rng=rng)
+            hot_frac_b += np.isin(bb.nodes, hot).mean()
+            hot_frac_p += np.isin(bp.nodes, hot).mean()
+        assert hot_frac_b > hot_frac_p
+
+    def test_set_hot_nodes_invalidates_cache(self, medium_graph, rng):
+        sampler = BiasedNeighborSampler([3], bias_rate=0.5, hot_nodes=np.arange(10))
+        sampler.sample(medium_graph, np.arange(20), rng=rng)
+        sampler.set_hot_nodes(np.arange(50))
+        assert sampler._weights is None
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(SamplingError):
+            BiasedNeighborSampler([3], bias_rate=1.5)
+
+
+class TestBatchIterator:
+    def test_covers_all_nodes(self, rng):
+        nodes = np.arange(100)
+        it = BatchIterator(nodes, 32, seed=0)
+        seen = np.concatenate(list(it.epoch()))
+        assert np.array_equal(np.sort(seen), nodes)
+
+    def test_len_matches_iteration(self):
+        it = BatchIterator(np.arange(100), 32)
+        assert len(it) == len(list(it.epoch())) == 4
+
+    def test_drop_last(self):
+        it = BatchIterator(np.arange(100), 32, drop_last=True)
+        batches = list(it.epoch())
+        assert len(batches) == 3
+        assert all(b.size == 32 for b in batches)
+
+    def test_partition_order_groups(self):
+        nodes = np.arange(100)
+        part = (nodes // 50).astype(np.int64)  # two partitions
+        it = BatchIterator(nodes, 25, order="partition", partition=part, seed=1)
+        batches = list(it.epoch())
+        # Each batch stays within one partition (50 % 25 == 0).
+        for b in batches:
+            assert np.unique(part[b]).size == 1
+
+    def test_sequential_order(self):
+        it = BatchIterator(np.arange(10), 5, order="sequential")
+        first = next(iter(it.epoch()))
+        assert np.array_equal(first, np.arange(5))
+
+    def test_partition_requires_vector(self):
+        with pytest.raises(SamplingError):
+            BatchIterator(np.arange(10), 5, order="partition")
+
+    def test_rejects_empty_nodes(self):
+        with pytest.raises(SamplingError):
+            BatchIterator(np.array([]), 5)
+
+    def test_epochs_shuffle_differently(self):
+        it = BatchIterator(np.arange(64), 64, seed=3)
+        first = next(iter(it.epoch())).copy()
+        second = next(iter(it.epoch())).copy()
+        assert not np.array_equal(first, second)
+
+
+class TestExpectation:
+    def test_tree_growth_bound(self):
+        assert tree_growth_bound(10, [2.0, 1.0]) == pytest.approx(10 * 3 * 2)
+
+    def test_tau_exponent(self):
+        assert tree_growth_bound(10, [3.0], tau=0.5) == pytest.approx(20.0)
+
+    def test_saturation_caps_at_n(self):
+        assert saturating_expectation(1e9, 1000) <= 1000
+
+    def test_saturation_monotone(self):
+        lo = saturating_expectation(100, 1000)
+        hi = saturating_expectation(500, 1000)
+        assert hi > lo
+
+    def test_small_bound_nearly_linear(self):
+        assert saturating_expectation(10, 100_000) == pytest.approx(10, rel=0.01)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SamplingError):
+            tree_growth_bound(0, [1.0])
+        with pytest.raises(SamplingError):
+            saturating_expectation(10, 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    batch=st.integers(1, 200),
+    fanouts=st.lists(st.floats(0.0, 20.0), min_size=1, max_size=4),
+)
+def test_expectation_bound_property(batch, fanouts):
+    """Saturating expectation never exceeds the tree-growth bound or |V|."""
+    n = 5000
+    bound = tree_growth_bound(batch, fanouts)
+    expected = float(saturating_expectation(bound, n))
+    assert expected <= min(bound + 1e-6, n)
