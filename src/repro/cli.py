@@ -21,6 +21,13 @@ from repro.runtime import RuntimeBackend
 __all__ = ["main", "build_parser"]
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be a non-negative integer")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -39,6 +46,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["balance", "ex_tm", "ex_ma", "ex_ta"],
     )
     nav.add_argument("--budget", type=int, default=16, help="profiling budget")
+    nav.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=None,
+        help="worker processes for ground-truth profiling (default: serial)",
+    )
+    nav.add_argument(
+        "--profile-cache",
+        default=None,
+        metavar="DIR",
+        help="directory for the persistent profiling result cache",
+    )
     nav.add_argument("--max-time-ms", type=float, default=None)
     nav.add_argument("--max-memory-mib", type=float, default=None)
     nav.add_argument("--min-accuracy", type=float, default=None)
@@ -66,7 +85,12 @@ def _cmd_navigate(args: argparse.Namespace) -> int:
         platform=args.platform,
         epochs=args.epochs,
     )
-    nav = GNNavigator(task, profile_budget=args.budget)
+    nav = GNNavigator(
+        task,
+        profile_budget=args.budget,
+        workers=args.workers,
+        cache_dir=args.profile_cache,
+    )
     print(f"exploring for priority {args.priority!r} ({constraint.describe()})...")
     report = nav.explore(constraint=constraint, priorities=[args.priority])
     guideline = report.guidelines[args.priority]

@@ -106,11 +106,15 @@ def profiling_records(
     graph: CSRGraph | None = None,
     include_templates: bool = True,
     use_disk: bool = True,
+    workers: int | None = None,
 ) -> list[GroundTruthRecord]:
     """Ground-truth records for ``budget`` sampled configs (+ templates).
 
     Cached in memory and on disk; the same recipe always returns the same
-    records, so experiments sharing a fold pay for profiling once.
+    records, so experiments sharing a fold pay for profiling once.  On a
+    cache miss the measurements route through the profiling service:
+    ``workers`` fans them out across processes (results are identical to
+    the serial path).
     """
     space = space or default_space()
     key = _recipe_key(task, budget, seed, space)
@@ -129,7 +133,7 @@ def profiling_records(
     if include_templates:
         configs.extend(TEMPLATES.values())
     configs = list(dict.fromkeys(c.canonical() for c in configs))
-    records = profile_configs(task, configs, graph=graph)
+    records = profile_configs(task, configs, graph=graph, workers=workers)
     _MEMORY[key] = records
     if use_disk:
         with open(disk_path, "wb") as f:
@@ -143,6 +147,7 @@ def exhaustive_records(
     *,
     graph: CSRGraph | None = None,
     use_disk: bool = True,
+    workers: int | None = None,
 ) -> list[GroundTruthRecord]:
     """Execute *every* candidate of a space (the Fig. 6 protocol), cached."""
     key = "exh_" + _recipe_key(task, 0, 0, space)
@@ -155,7 +160,7 @@ def exhaustive_records(
         records = _refresh_profiles(records)
         _MEMORY[key] = records
         return records
-    records = profile_configs(task, space.enumerate(), graph=graph)
+    records = profile_configs(task, space.enumerate(), graph=graph, workers=workers)
     _MEMORY[key] = records
     if use_disk:
         with open(disk_path, "wb") as f:

@@ -84,6 +84,7 @@ def run_fig6(
     dataset: str = "reddit2",
     arch: str = "sage",
     epochs: int = 4,
+    workers: int | None = None,
 ) -> Fig6Result:
     """Exhaust the reduced space by execution; locate navigator guidelines.
 
@@ -95,7 +96,7 @@ def run_fig6(
     """
     space = reduced_space()
     task = TaskSpec(dataset=dataset, arch=arch, epochs=epochs)
-    records = list(exhaustive_records(task, space))
+    records = list(exhaustive_records(task, space, workers=workers))
     by_config = {r.config: i for i, r in enumerate(records)}
 
     nav = GNNavigator(task, space=space)
@@ -111,7 +112,7 @@ def run_fig6(
         else:
             # Guideline came from the initial template set outside the
             # reduced space: execute it and append.
-            extra = profile_configs(task, [config])
+            extra = profile_configs(task, [config], workers=workers)
             records.append(extra[0])
             result.guideline_indices[mode] = len(records) - 1
     return result

@@ -73,6 +73,7 @@ def run_table1_task(
     epochs: int = 8,
     profile_budget: int = 40,
     profile_epochs: int = 4,
+    workers: int | None = None,
 ) -> Table1Block:
     """Run every method of one Table 1 block."""
     task = table1_task(dataset, arch, epochs=epochs)
@@ -93,9 +94,11 @@ def run_table1_task(
     # GNNavigator: fit the estimator on cached ground truth, explore once,
     # then measure each priority's guideline with the same epoch budget.
     records = profiling_records(
-        estimator_task(dataset, arch, epochs=profile_epochs), budget=profile_budget
+        estimator_task(dataset, arch, epochs=profile_epochs),
+        budget=profile_budget,
+        workers=workers,
     )
-    nav = GNNavigator(task, profile_budget=profile_budget)
+    nav = GNNavigator(task, profile_budget=profile_budget, workers=workers)
     nav.fit_estimator(records)
     report = nav.explore(priorities=list(NAVIGATOR_MODES))
     for mode in NAVIGATOR_MODES:
@@ -114,7 +117,11 @@ def run_table1_task(
 
 
 def run_table1(
-    *, epochs: int = 8, profile_budget: int = 40, profile_epochs: int = 4
+    *,
+    epochs: int = 8,
+    profile_budget: int = 40,
+    profile_epochs: int = 4,
+    workers: int | None = None,
 ) -> list[Table1Block]:
     """All three applications of Table 1."""
     return [
@@ -125,6 +132,7 @@ def run_table1(
             epochs=epochs,
             profile_budget=profile_budget,
             profile_epochs=profile_epochs,
+            workers=workers,
         )
         for label, dataset, arch in TABLE1_TASKS
     ]

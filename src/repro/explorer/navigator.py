@@ -62,6 +62,8 @@ class GNNavigator:
         profile_budget: int = 48,
         profile_epochs: int = 4,
         seed: int = 0,
+        workers: int | None = None,
+        cache_dir: str | None = None,
     ) -> None:
         if profile_budget < 8:
             raise ExplorationError("profile_budget must be at least 8")
@@ -73,15 +75,26 @@ class GNNavigator:
         self.profile_budget = profile_budget
         self.profile_epochs = profile_epochs
         self.seed = seed
+        self.workers = workers
+        self.cache_dir = cache_dir
         self.estimator: GrayBoxEstimator | None = None
         self.records: list[GroundTruthRecord] = []
 
     # ------------------------------------------------------------ step 2a/2b
     def fit_estimator(
-        self, records: list[GroundTruthRecord] | None = None
+        self,
+        records: list[GroundTruthRecord] | None = None,
+        *,
+        workers: int | None = None,
+        cache_dir: str | None = None,
     ) -> GrayBoxEstimator:
         """Fit the gray-box estimator (profiling a design-space sample if
-        no pre-collected ground truth is supplied)."""
+        no pre-collected ground truth is supplied).
+
+        ``workers`` fans the profiling runs out across processes and
+        ``cache_dir`` persists them via the profiling service; both default
+        to the navigator-level settings.
+        """
         if records is None:
             rng = np.random.default_rng(self.seed)
             sample = self.space.sample(self.profile_budget, rng=rng)
@@ -98,7 +111,13 @@ class GNNavigator:
                 train_frac=self.task.train_frac,
                 val_frac=self.task.val_frac,
             )
-            records = profile_configs(profile_task, sample, graph=self.graph)
+            records = profile_configs(
+                profile_task,
+                sample,
+                graph=self.graph,
+                workers=workers if workers is not None else self.workers,
+                cache_dir=cache_dir if cache_dir is not None else self.cache_dir,
+            )
         self.records = list(records)
         self.estimator = GrayBoxEstimator(
             train_frac=self.task.train_frac, random_state=self.seed

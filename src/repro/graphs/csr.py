@@ -17,7 +17,27 @@ import numpy as np
 
 from repro.errors import GraphError
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "dedup_edges"]
+
+
+def dedup_edges(src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort ``(src, dst)`` pairs lexicographically and drop duplicates.
+
+    Uses :func:`np.lexsort` on the two columns directly rather than a flat
+    ``src * num_nodes + dst`` key, which overflows int64 once
+    ``num_nodes**2`` exceeds ``2**63`` and then silently merges or misorders
+    distinct edges.  Safe for arbitrarily large node ids.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    if src.size:
+        unique = np.concatenate(
+            [[True], (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])]
+        )
+        src, dst = src[unique], dst[unique]
+    return src, dst
 
 
 @dataclass(frozen=True)
@@ -210,13 +230,7 @@ class CSRGraph:
         src, dst = src[keep], dst[keep]
         if symmetrize:
             src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
-        # Deduplicate via a flat key; stable within numpy int64 for our scales.
-        key = src * np.int64(num_nodes) + dst
-        order = np.argsort(key, kind="stable")
-        key, src, dst = key[order], src[order], dst[order]
-        if key.size:
-            unique = np.concatenate([[True], key[1:] != key[:-1]])
-            src, dst = src[unique], dst[unique]
+        src, dst = dedup_edges(src, dst)
         counts = np.bincount(src, minlength=num_nodes)
         indptr = np.zeros(num_nodes + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])

@@ -1,6 +1,7 @@
 """Reconfigurable runtime backend executing Algorithm 1 on the simulated platform."""
 
 from repro.runtime.backend import RuntimeBackend, make_sampler
+from repro.runtime.parallel import ProfilingService, ProfilingStats, ResultStore
 from repro.runtime.profiler import GroundTruthRecord, profile_configs, profile_one
 from repro.runtime.report import BatchRecord, EpochStats, PerfReport
 
@@ -8,6 +9,9 @@ __all__ = [
     "RuntimeBackend",
     "make_sampler",
     "GroundTruthRecord",
+    "ProfilingService",
+    "ProfilingStats",
+    "ResultStore",
     "profile_configs",
     "profile_one",
     "BatchRecord",

@@ -54,6 +54,11 @@ __all__ = ["RuntimeBackend", "make_sampler"]
 _DEGREE_HOT_FRACTION = 0.2
 
 
+def _safe_mean(values: list) -> float:
+    """Mean that degrades to 0.0 on an empty list instead of NaN+warning."""
+    return float(np.mean(values)) if values else 0.0
+
+
 def make_sampler(
     config: TrainingConfig, graph: CSRGraph, cache: DeviceCache | None
 ) -> Sampler:
@@ -249,6 +254,12 @@ class RuntimeBackend:
             records.append(self._charge_batch(batch, admitted, evicted, missed, loss))
 
         val_acc = self.evaluate(self.val_nodes)
+        # Batches without training targets report a NaN loss (nothing was
+        # optimised); exclude them so one such batch cannot poison the
+        # epoch loss — and with it the estimator's ground truth.  The
+        # guarded means also keep an empty epoch (no train batches at all)
+        # from emitting RuntimeWarnings and NaN stats.
+        losses = [r.loss for r in records if not np.isnan(r.loss)]
         stats = EpochStats(
             epoch=epoch,
             time_s=float(sum(r.time for r in records)),
@@ -256,10 +267,10 @@ class RuntimeBackend:
             t_transfer=float(sum(r.t_transfer for r in records)),
             t_replace=float(sum(r.t_replace for r in records)),
             t_compute=float(sum(r.t_compute for r in records)),
-            mean_batch_nodes=float(np.mean([r.num_nodes for r in records])),
-            mean_batch_edges=float(np.mean([r.num_edges for r in records])),
-            hit_rate=float(np.mean([r.hit_rate for r in records])),
-            loss=float(np.mean([r.loss for r in records])),
+            mean_batch_nodes=_safe_mean([r.num_nodes for r in records]),
+            mean_batch_edges=_safe_mean([r.num_edges for r in records]),
+            hit_rate=_safe_mean([r.hit_rate for r in records]),
+            loss=_safe_mean(losses),
             val_accuracy=val_acc,
             num_batches=len(records),
         )

@@ -103,12 +103,17 @@ def profile_configs(
     *,
     graph: CSRGraph | None = None,
     progress: bool = False,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> list[GroundTruthRecord]:
-    """Execute every candidate on the backend (the Fig. 6 protocol)."""
-    records: list[GroundTruthRecord] = []
-    for i, config in enumerate(configs):
-        record, _ = profile_one(task, config, graph=graph)
-        records.append(record)
-        if progress and (i + 1) % 10 == 0:
-            print(f"profiled {i + 1}/{len(configs)} candidates")
-    return records
+    """Execute every candidate on the backend (the Fig. 6 protocol).
+
+    Thin wrapper over :class:`~repro.runtime.parallel.ProfilingService`:
+    ``workers`` fans the runs out across processes, ``cache_dir`` persists
+    results so repeat profiling is free.  Output is identical to the
+    one-:func:`profile_one`-per-config serial loop for the same seed.
+    """
+    from repro.runtime.parallel import ProfilingService
+
+    service = ProfilingService(max_workers=workers, cache_dir=cache_dir)
+    return service.profile(task, configs, graph=graph, progress=progress)

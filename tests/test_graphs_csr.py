@@ -174,3 +174,52 @@ def test_from_edges_properties(n, edges):
         assert np.unique(nbrs).size == nbrs.size
         for u in nbrs:
             assert v in g.neighbors(int(u))
+
+
+class TestDedupEdges:
+    """np.lexsort-based dedup: immune to the int64 overflow of the old
+    ``src * num_nodes + dst`` flat key."""
+
+    def test_sorted_and_unique(self):
+        from repro.graphs.csr import dedup_edges
+
+        src = np.array([2, 0, 2, 0, 1, 2], dtype=np.int64)
+        dst = np.array([1, 3, 1, 3, 0, 0], dtype=np.int64)
+        s, d = dedup_edges(src, dst)
+        assert s.tolist() == [0, 1, 2, 2]
+        assert d.tolist() == [3, 0, 0, 1]
+
+    def test_adversarially_large_node_ids(self):
+        from repro.graphs.csr import dedup_edges
+
+        # Ids near 2**62: any flat key src * N + dst overflows int64 for
+        # every N > 1, silently colliding distinct pairs.  Lexsort must
+        # keep these edges distinct and correctly ordered.
+        big = np.int64(2**62)
+        src = np.array([big, big - 1, big, big - 1, 0], dtype=np.int64)
+        dst = np.array([big - 1, big, big - 1, 0, big], dtype=np.int64)
+        s, d = dedup_edges(src, dst)
+        assert s.tolist() == [0, big - 1, big - 1, big]
+        assert d.tolist() == [big, 0, big, big - 1]
+
+    def test_empty(self):
+        from repro.graphs.csr import dedup_edges
+
+        s, d = dedup_edges(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert s.size == 0 and d.size == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)),
+            min_size=0,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_set_reference(self, pairs):
+        from repro.graphs.csr import dedup_edges
+
+        src = np.array([p[0] for p in pairs], dtype=np.int64)
+        dst = np.array([p[1] for p in pairs], dtype=np.int64)
+        s, d = dedup_edges(src, dst)
+        assert sorted(set(pairs)) == list(zip(s.tolist(), d.tolist()))

@@ -1,0 +1,149 @@
+"""Profiling service tests: parallel fan-out, dedup, persistent cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import TaskSpec, TrainingConfig
+from repro.runtime import ProfilingService, profile_configs
+from repro.runtime.parallel import (
+    ResultStore,
+    candidate_key,
+    graph_fingerprint,
+    record_from_dict,
+    record_to_dict,
+)
+
+
+@pytest.fixture()
+def configs() -> list[TrainingConfig]:
+    return [
+        TrainingConfig(batch_size=64, sampler="sage", hop_list=(3, 2)),
+        TrainingConfig(batch_size=32, sampler="fastgcn", hop_list=(4,)),
+        TrainingConfig(batch_size=64, sampler="sage", hop_list=(3, 2)),  # dup
+    ]
+
+
+class TestKeys:
+    def test_fingerprint_distinguishes_graphs(self, small_graph, medium_graph):
+        assert graph_fingerprint(small_graph) != graph_fingerprint(medium_graph)
+
+    def test_fingerprint_deterministic(self, small_graph):
+        assert graph_fingerprint(small_graph) == graph_fingerprint(small_graph)
+
+    def test_key_uses_canonical_config(self, small_graph, tiny_task):
+        fp = graph_fingerprint(small_graph)
+        # bias_rate is meaningless for the sage sampler: canonicalisation
+        # zeroes it, so both candidates share one measurement.
+        a = TrainingConfig(sampler="sage", bias_rate=0.0)
+        b = TrainingConfig(sampler="sage", bias_rate=0.7)
+        assert candidate_key(tiny_task, a, fp) == candidate_key(tiny_task, b, fp)
+
+    def test_key_separates_tasks(self, small_graph, tiny_task):
+        fp = graph_fingerprint(small_graph)
+        cfg = TrainingConfig()
+        other = TaskSpec(dataset=tiny_task.dataset, arch="gcn", epochs=2)
+        assert candidate_key(tiny_task, cfg, fp) != candidate_key(other, cfg, fp)
+
+
+class TestSerialization:
+    def test_record_round_trip(self, small_graph, tiny_task, configs):
+        record = profile_configs(tiny_task, configs[:1], graph=small_graph)[0]
+        clone = record_from_dict(json.loads(json.dumps(record_to_dict(record))))
+        assert clone == record
+        assert (clone.features() == record.features()).all()
+
+
+class TestProfilingService:
+    def test_parallel_identical_to_serial(self, small_graph, tiny_task, configs):
+        serial = profile_configs(tiny_task, configs, graph=small_graph)
+        service = ProfilingService(max_workers=2)
+        parallel = service.profile(tiny_task, configs, graph=small_graph)
+        assert parallel == serial
+
+    def test_deduplicates_repeated_candidates(self, small_graph, tiny_task, configs):
+        service = ProfilingService()
+        records = service.profile(tiny_task, configs, graph=small_graph)
+        assert len(records) == len(configs)
+        assert service.stats.executed == 2
+        assert service.stats.deduplicated == 1
+        assert records[0] == records[2]
+
+    def test_cache_hit_skips_training(self, small_graph, tiny_task, configs, tmp_path):
+        cold = ProfilingService(cache_dir=tmp_path)
+        first = cold.profile(tiny_task, configs, graph=small_graph)
+        assert cold.stats.executed == 2
+        assert len(cold.store) == 2
+
+        warm = ProfilingService(cache_dir=tmp_path)
+        second = warm.profile(tiny_task, configs, graph=small_graph)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == 2
+        assert second == first
+
+    def test_in_memory_reuse_without_cache_dir(self, small_graph, tiny_task, configs):
+        service = ProfilingService()
+        first = service.profile(tiny_task, configs, graph=small_graph)
+        second = service.profile(tiny_task, configs, graph=small_graph)
+        assert service.stats.executed == 2  # nothing re-ran on the second call
+        assert second == first
+
+    def test_corrupt_cache_entry_discarded(
+        self, small_graph, tiny_task, configs, tmp_path
+    ):
+        ProfilingService(cache_dir=tmp_path).profile(
+            tiny_task, configs, graph=small_graph
+        )
+        victim = sorted(tmp_path.glob("gt_*.json"))[0]
+        victim.write_text("{this is not json")
+
+        service = ProfilingService(cache_dir=tmp_path)
+        records = service.profile(tiny_task, configs, graph=small_graph)
+        assert len(records) == len(configs)
+        assert service.stats.executed == 1  # only the corrupt entry re-ran
+        assert service.stats.cache_hits == 1
+        assert not victim.exists() or json.loads(victim.read_text())
+
+    def test_version_skew_discarded(self, small_graph, tiny_task, configs, tmp_path):
+        service = ProfilingService(cache_dir=tmp_path)
+        service.profile(tiny_task, configs[:1], graph=small_graph)
+        victim = next(tmp_path.glob("gt_*.json"))
+        envelope = json.loads(victim.read_text())
+        envelope["version"] = 999
+        victim.write_text(json.dumps(envelope))
+
+        fresh = ProfilingService(cache_dir=tmp_path)
+        fresh.profile(tiny_task, configs[:1], graph=small_graph)
+        assert fresh.stats.executed == 1
+
+    def test_store_load_missing_key(self, tmp_path):
+        assert ResultStore(tmp_path).load("deadbeef") is None
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            ProfilingService(max_workers=-1)
+
+
+class TestIntegration:
+    def test_profile_configs_wrapper_with_cache(
+        self, small_graph, tiny_task, configs, tmp_path
+    ):
+        first = profile_configs(
+            tiny_task, configs, graph=small_graph, cache_dir=str(tmp_path)
+        )
+        second = profile_configs(
+            tiny_task, configs, graph=small_graph, cache_dir=str(tmp_path)
+        )
+        assert second == first
+        assert len(list(tmp_path.glob("gt_*.json"))) == 2
+
+    def test_cli_exposes_service_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["navigate", "--workers", "3", "--profile-cache", "/tmp/pc"]
+        )
+        assert args.workers == 3
+        assert args.profile_cache == "/tmp/pc"

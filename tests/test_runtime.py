@@ -190,3 +190,74 @@ class TestProfiler:
         records = profile_configs(tiny_task, configs, graph=small_graph)
         assert len(records) == 2
         assert records[1].hit_rate > records[0].hit_rate
+
+
+class TestEpochStatGuards:
+    """Regression tests: NaN batch losses and empty epochs must not poison
+    EpochStats (and with it the estimator's ground truth)."""
+
+    def test_no_train_target_batches_do_not_poison_loss(
+        self, small_graph, tiny_config
+    ):
+        import math
+
+        from repro.sampling.batching import BatchIterator
+
+        # Tiny train fraction, and batches scheduled over *validation*
+        # vertices: every batch has zero training targets, so _train_step
+        # reports NaN for each — the epoch loss must still be finite.
+        task = TaskSpec(
+            dataset="tiny", arch="sage", epochs=1, lr=0.02, train_frac=0.05
+        )
+        backend = RuntimeBackend(task, tiny_config, graph=small_graph)
+        backend.batches = BatchIterator(
+            backend.val_nodes, tiny_config.batch_size, order="sequential"
+        )
+        stats, records = backend.run_epoch(0)
+        assert all(math.isnan(r.loss) for r in records)
+        assert math.isfinite(stats.loss)
+        assert stats.loss == 0.0
+
+    def test_mixed_nan_batches_average_finite_losses_only(
+        self, small_graph, tiny_config
+    ):
+        import math
+
+        from repro.sampling.batching import BatchIterator
+
+        task = TaskSpec(dataset="tiny", arch="sage", epochs=1, lr=0.02)
+        backend = RuntimeBackend(task, tiny_config, graph=small_graph)
+        # Sequential batches over train-then-val vertices: early batches
+        # carry real losses, trailing all-val batches report NaN.
+        mixed = np.concatenate([backend.train_nodes, backend.val_nodes])
+        backend.batches = BatchIterator(
+            mixed, tiny_config.batch_size, order="sequential"
+        )
+        stats, records = backend.run_epoch(0)
+        finite = [r.loss for r in records if not math.isnan(r.loss)]
+        assert finite and len(finite) < len(records)
+        assert stats.loss == pytest.approx(float(np.mean(finite)))
+
+    def test_zero_batch_epoch_yields_clean_stats(self, small_graph, tiny_config):
+        import warnings
+
+        from repro.sampling.batching import BatchIterator
+
+        task = TaskSpec(dataset="tiny", arch="sage", epochs=1, lr=0.02)
+        backend = RuntimeBackend(task, tiny_config, graph=small_graph)
+        # drop_last with an oversized batch produces an epoch with zero
+        # mini-batches; every mean reduction must degrade to 0.0 silently.
+        backend.batches = BatchIterator(
+            backend.train_nodes,
+            backend.train_nodes.size + 1,
+            order="sequential",
+            drop_last=True,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            stats, records = backend.run_epoch(0)
+        assert records == []
+        assert stats.num_batches == 0
+        assert stats.loss == 0.0
+        assert stats.mean_batch_nodes == 0.0
+        assert stats.hit_rate == 0.0
