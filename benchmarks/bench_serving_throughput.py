@@ -1,0 +1,154 @@
+"""Serving layer — N overlapping tenants vs serial private-cache runs.
+
+Four tenants ask for guidelines on the same task with different objective
+priorities (the paper's Table 1 modes).  Every tenant's Step-2 profiling
+samples the same design-space fold, so a serial run with cold private
+caches measures the fold four times; the server measures it once and serves
+the other three tenants from the shared store/in-flight table.  The bench
+asserts the >= 2x wall-clock reduction that amortization buys even on a
+single core (it is work elimination, not parallelism) and reports jobs/sec
+plus the cache-hit breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config.settings import TaskSpec, TrainingConfig
+from repro.config.space import DesignSpace
+from repro.explorer import GNNavigator
+from repro.graphs.generators import powerlaw_community_graph
+from repro.serving import NavigationRequest, NavigationServer
+
+NUM_TENANTS = 4
+BUDGET = 16
+PRIORITIES = ["balance", "ex_tm", "ex_ma", "ex_ta"]
+
+#: one server-wide space for every tenant (what makes their samples overlap);
+#: compact enough that DFS exploration is cheap next to the training runs the
+#: profiling step executes — the regime the paper's Step 2 lives in.
+SPACE = DesignSpace(
+    {
+        "batch_size": (32, 64, 128, 256),
+        "hop_list": ((3, 2), (5, 3), (10, 5)),
+        "cache_ratio": (0.0, 0.25),
+        "hidden_channels": (16, 32),
+    },
+    base=TrainingConfig(),
+)
+
+
+def _workload():
+    graph = powerlaw_community_graph(
+        1500,
+        num_classes=6,
+        feature_dim=24,
+        min_degree=3,
+        max_degree=80,
+        homophily=0.8,
+        feature_noise=0.8,
+        seed=42,
+        name="bench-serving",
+    )
+    task = TaskSpec(dataset="bench-serving", arch="sage", epochs=2, lr=0.02)
+    requests = [
+        NavigationRequest(
+            task=task,
+            priorities=(priority,),
+            budget=BUDGET,
+            profile_epochs=3,
+            tag=f"tenant-{i}",
+        )
+        for i, priority in enumerate(PRIORITIES)
+    ]
+    return graph, task, requests
+
+
+def test_shared_serving_beats_serial_private(run_once, emit, tmp_path):
+    graph, task, requests = _workload()
+
+    # -- serial baseline: each tenant is a fresh navigator, cold private cache
+    def serial():
+        reports = []
+        for request in requests:
+            navigator = GNNavigator(
+                task,
+                space=SPACE,
+                graph=graph,
+                profile_budget=request.budget,
+                profile_epochs=request.profile_epochs,
+                seed=request.seed,
+            )
+            reports.append(
+                navigator.explore(priorities=list(request.priorities))
+            )
+        return reports
+
+    t0 = time.perf_counter()
+    serial_reports = run_once(serial)
+    t_serial = time.perf_counter() - t0
+
+    # -- served: one shared store, overlapping samples measured once
+    server = NavigationServer(
+        workers=2,
+        cache_dir=str(tmp_path / "store"),
+        graphs={task.dataset: graph},
+        space=SPACE,
+    )
+    t0 = time.perf_counter()
+    job_ids = server.submit_many(requests)
+    jobs = server.drain()
+    t_shared = time.perf_counter() - t0
+    results = [server.result(jid) for jid in job_ids]
+    stats = server.stats
+    server.stop()
+
+    total_candidates = sum(r.report.num_ground_truth for r in results)
+    speedup = t_serial / t_shared
+    emit()
+    emit(
+        f"{NUM_TENANTS} overlapping tenants: serial+private {t_serial:.2f}s, "
+        f"served+shared {t_shared:.2f}s -> {speedup:.2f}x "
+        f"({NUM_TENANTS / t_shared:.2f} jobs/sec)"
+    )
+    emit(
+        f"amortization: {total_candidates} candidate evaluations requested, "
+        f"{stats.executed} executed, {stats.cache_hits} cache hits, "
+        f"{stats.shared_inflight} shared in-flight, "
+        f"{stats.deduplicated} deduplicated"
+    )
+
+    assert all(job.status.value == "done" for job in jobs)
+    # every tenant got its own objective's guideline
+    for request, result in zip(requests, results):
+        assert set(result.guidelines) == set(request.priorities)
+    # the fold was measured once, not NUM_TENANTS times
+    assert stats.executed == results[0].report.num_ground_truth
+    assert stats.executed < total_candidates
+    assert speedup >= 2.0, (
+        f"expected >=2x from cross-tenant amortization, got {speedup:.2f}x "
+        f"(serial {t_serial:.2f}s vs shared {t_shared:.2f}s)"
+    )
+    # same task + seed => identical ground truth behind every tenant's fit
+    assert all(
+        r.report.num_ground_truth == results[0].report.num_ground_truth
+        for r in results
+    )
+
+    # -- warm restart: a new server on the same store runs nothing at all
+    warm = NavigationServer(
+        workers=1,
+        cache_dir=str(tmp_path / "store"),
+        graphs={task.dataset: graph},
+        space=SPACE,
+    )
+    t0 = time.perf_counter()
+    warm.submit_many(requests)
+    warm.drain()
+    t_warm = time.perf_counter() - t0
+    emit(
+        f"warm restart: {t_warm:.2f}s, {warm.stats.executed} training runs "
+        f"({warm.stats.cache_hits} cache hits)"
+    )
+    warm.stop()
+    assert warm.stats.executed == 0

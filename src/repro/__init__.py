@@ -11,6 +11,8 @@ Public entry points:
 * :mod:`repro.runtime` — the reconfigurable runtime backend (Algo. 1)
 * :mod:`repro.estimator` — gray-box performance estimator (Eqs. 4-12)
 * :mod:`repro.explorer` — DSE, Pareto decision making, ``GNNavigator`` facade
+* :mod:`repro.serving` — multi-tenant navigation server with a shared
+  cross-task result store
 """
 
 __version__ = "1.0.0"

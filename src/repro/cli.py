@@ -3,6 +3,7 @@
 Commands
 --------
 ``navigate``   run GNNavigator end to end on a task and print guidelines
+``serve``      run a local navigation server over a job file of requests
 ``templates``  run the baseline system templates on a task
 ``datasets``   list the synthetic dataset zoo with statistics
 """
@@ -10,13 +11,16 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.config import TaskSpec, get_template, template_names
+from repro.errors import ServingError
 from repro.experiments.tables import render_table
 from repro.explorer import GNNavigator, RuntimeConstraint
 from repro.graphs import DATASETS, load_dataset, profile_graph
 from repro.runtime import RuntimeBackend
+from repro.runtime.parallel import default_store_dir
 
 __all__ = ["main", "build_parser"]
 
@@ -58,9 +62,51 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="directory for the persistent profiling result cache",
     )
+    nav.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="persist profiling to the shared serving/experiment store "
+        "(the layout `repro serve` and the experiment harness use)",
+    )
     nav.add_argument("--max-time-ms", type=float, default=None)
     nav.add_argument("--max-memory-mib", type=float, default=None)
     nav.add_argument("--min-accuracy", type=float, default=None)
+
+    serve = sub.add_parser(
+        "serve", help="serve a batch of navigation requests from a job file"
+    )
+    serve.add_argument(
+        "--jobs",
+        required=True,
+        metavar="FILE",
+        help="JSON job file: a list of request specs "
+        '(e.g. [{"dataset": "reddit2", "priorities": ["balance"]}]); '
+        "'-' reads the specs from stdin",
+    )
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="concurrent navigation jobs (worker threads)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=None,
+        help="worker processes for ground-truth profiling (default: serial)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared persistent result store "
+        "(default: the repo-local serving store)",
+    )
+    serve.add_argument(
+        "--no-store",
+        action="store_true",
+        help="keep result sharing in-memory only (no persistent store)",
+    )
 
     tmpl = sub.add_parser("templates", help="run the baseline templates")
     tmpl.add_argument("--dataset", default="reddit2")
@@ -85,11 +131,16 @@ def _cmd_navigate(args: argparse.Namespace) -> int:
         platform=args.platform,
         epochs=args.epochs,
     )
+    cache_dir = args.profile_cache
+    if args.shared_cache:
+        if cache_dir is not None:
+            raise ServingError("--shared-cache and --profile-cache conflict")
+        cache_dir = str(default_store_dir())
     nav = GNNavigator(
         task,
         profile_budget=args.budget,
         workers=args.workers,
-        cache_dir=args.profile_cache,
+        cache_dir=cache_dir,
     )
     print(f"exploring for priority {args.priority!r} ({constraint.describe()})...")
     report = nav.explore(constraint=constraint, priorities=[args.priority])
@@ -98,6 +149,63 @@ def _cmd_navigate(args: argparse.Namespace) -> int:
     perf = nav.apply(guideline)
     print(f"measured : {perf.summary()}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import NavigationRequest, NavigationServer
+
+    text = sys.stdin.read() if args.jobs == "-" else open(args.jobs).read()
+    specs = json.loads(text)
+    if not isinstance(specs, list):
+        raise ServingError("job file must hold a JSON list of request specs")
+    requests = [NavigationRequest.from_dict(spec) for spec in specs]
+
+    cache_dir = None
+    if not args.no_store:
+        cache_dir = args.cache_dir or str(default_store_dir())
+    with NavigationServer(
+        workers=args.serve_workers,
+        profile_workers=args.workers,
+        cache_dir=cache_dir,
+    ) as server:
+        job_ids = server.submit_many(requests)
+        print(
+            f"serving {len(job_ids)} request(s) on {args.serve_workers} "
+            f"worker(s), store: {cache_dir or 'in-memory'}"
+        )
+        jobs = server.drain()
+
+    rows = []
+    for job in jobs:
+        req = job.request
+        if job.status.value == "done":
+            outcome = job.result.best().describe()
+        else:
+            outcome = job.error or job.status.value
+        rows.append(
+            [
+                job.job_id,
+                f"{req.task.dataset}+{req.task.arch}",
+                "/".join(req.priorities),
+                str(req.priority),
+                job.status.value,
+                outcome,
+            ]
+        )
+    stats = server.stats
+    print(
+        render_table(
+            ["job", "task", "objectives", "prio", "status", "outcome"],
+            rows,
+            title="served navigation jobs",
+        )
+    )
+    print(
+        f"profiling: {stats.executed} runs, {stats.cache_hits} cache hits, "
+        f"{stats.shared_inflight} shared in-flight, "
+        f"{stats.deduplicated} deduplicated"
+    )
+    return 0 if all(j.status.value == "done" for j in jobs) else 1
 
 
 def _cmd_templates(args: argparse.Namespace) -> int:
@@ -153,6 +261,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "navigate":
         return _cmd_navigate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "templates":
         return _cmd_templates(args)
     return _cmd_datasets()

@@ -34,3 +34,7 @@ class EstimatorError(ReproError):
 
 class ExplorationError(ReproError):
     """Design-space exploration could not produce a feasible guideline."""
+
+
+class ServingError(ReproError):
+    """The navigation serving layer was misused or a served job failed."""

@@ -1,18 +1,24 @@
-"""Disk + memory cache for ground-truth profiling records.
+"""Experiment-level front of the shared ground-truth result store.
 
 Every experiment consumes ground truth produced by executing configurations
 on the runtime backend.  Profiling is the expensive step (minutes per
 dataset), and several experiments share the same records (Table 2 and Fig. 5
-use identical folds; Table 1 reuses each task's estimator records), so
-records are cached in-process and pickled under ``.cache/`` keyed by the
-profiling recipe.  Delete the directory to force re-profiling.
+use identical folds; Table 1 reuses each task's estimator records).
+
+Since PR 2 the persistence layer is the *same* per-candidate
+:class:`~repro.runtime.parallel.ResultStore` the profiling service and the
+serving layer use (one JSON file per ``(task, config, graph)`` under
+``.cache/store/``, ``REPRO_STORE_DIR`` overrides): an experiment warms the
+store for ``repro serve`` and vice versa, and partial overlaps between
+recipes hit instead of re-measuring.  This module only adds the in-process
+memoization of whole record *sets* keyed by the profiling recipe.  Delete
+the store directory (or call :func:`clear_cache`) to force re-profiling.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
-import pickle
+
 from pathlib import Path
 
 import numpy as np
@@ -20,10 +26,8 @@ import numpy as np
 from repro.config.settings import TaskSpec
 from repro.config.space import DesignSpace, default_space
 from repro.config.templates import TEMPLATES
-from repro.errors import GraphError
 from repro.graphs.csr import CSRGraph
-from repro.graphs.datasets import load_dataset
-from repro.graphs.profiling import profile_graph
+from repro.runtime.parallel import default_store_dir
 from repro.runtime.profiler import GroundTruthRecord, profile_configs
 
 __all__ = ["profiling_records", "exhaustive_records", "cache_dir", "clear_cache"]
@@ -32,49 +36,23 @@ _MEMORY: dict[str, list[GroundTruthRecord]] = {}
 
 
 def cache_dir() -> Path:
-    """Cache directory (repo-local, created on demand)."""
-    path = Path(__file__).resolve().parents[3] / ".cache"
-    path.mkdir(exist_ok=True)
+    """The shared result-store directory (created on demand)."""
+    path = default_store_dir()
+    path.mkdir(parents=True, exist_ok=True)
     return path
 
 
 def clear_cache() -> None:
-    """Drop every cached record set (memory and disk)."""
+    """Drop every cached record (memory and the shared store)."""
     _MEMORY.clear()
-    for f in cache_dir().glob("records_*.pkl"):
+    for f in cache_dir().glob("gt_*.json"):
         f.unlink()
-
-
-def _graph_for(dataset: str) -> CSRGraph | None:
-    """Rebuild the graph a record set was profiled on, when derivable."""
-    if dataset.startswith("aug"):
-        from repro.experiments.fig5 import augmentation_graph
-
-        try:
-            return augmentation_graph(int(dataset[3:]))
-        except (ValueError, IndexError):
-            return None
-    try:
-        return load_dataset(dataset)
-    except GraphError:
-        return None
-
-
-def _refresh_profiles(records: list[GroundTruthRecord]) -> list[GroundTruthRecord]:
-    """Upgrade profiles pickled before new GraphProfile fields existed.
-
-    Measured quantities stay untouched; only the graph summary is recomputed
-    (it is a pure function of the deterministic dataset).
-    """
-    # Old pickles fall back to the dataclass *default* (0.0) for the new
-    # fields, so hasattr() is always true — inspect the instance dict.
-    if not records or "separability" in vars(records[0].graph_profile):
-        return records
-    graph = _graph_for(records[0].task.dataset)
-    if graph is None:
-        return records
-    fresh = profile_graph(graph)
-    return [dataclasses.replace(r, graph_profile=fresh) for r in records]
+    # Pre-PR-2 layout: whole record sets pickled under the repo-root
+    # ``.cache/`` — swept from that fixed location only, never from a
+    # ``REPRO_STORE_DIR`` override's parent (which this package doesn't own).
+    legacy = Path(__file__).resolve().parents[3] / ".cache"
+    for f in legacy.glob("records_*.pkl"):
+        f.unlink()
 
 
 def _recipe_key(
@@ -110,34 +88,29 @@ def profiling_records(
 ) -> list[GroundTruthRecord]:
     """Ground-truth records for ``budget`` sampled configs (+ templates).
 
-    Cached in memory and on disk; the same recipe always returns the same
-    records, so experiments sharing a fold pay for profiling once.  On a
-    cache miss the measurements route through the profiling service:
-    ``workers`` fans them out across processes (results are identical to
-    the serial path).
+    Memoized in-process by recipe and persisted per candidate in the shared
+    result store, so experiments sharing a fold — and serving jobs sharing a
+    candidate — pay for profiling once.  Misses route through the profiling
+    service: ``workers`` fans them out across processes (results are
+    identical to the serial path); ``use_disk=False`` skips the store.
     """
     space = space or default_space()
     key = _recipe_key(task, budget, seed, space)
     if key in _MEMORY:
         return _MEMORY[key]
-    disk_path = cache_dir() / f"records_{task.dataset}_{task.arch}_{key}.pkl"
-    if use_disk and disk_path.exists():
-        with open(disk_path, "rb") as f:
-            records = pickle.load(f)
-        records = _refresh_profiles(records)
-        _MEMORY[key] = records
-        return records
-
     rng = np.random.default_rng(seed)
     configs = space.sample(budget, rng=rng)
     if include_templates:
         configs.extend(TEMPLATES.values())
     configs = list(dict.fromkeys(c.canonical() for c in configs))
-    records = profile_configs(task, configs, graph=graph, workers=workers)
+    records = profile_configs(
+        task,
+        configs,
+        graph=graph,
+        workers=workers,
+        cache_dir=str(cache_dir()) if use_disk else None,
+    )
     _MEMORY[key] = records
-    if use_disk:
-        with open(disk_path, "wb") as f:
-            pickle.dump(records, f)
     return records
 
 
@@ -153,16 +126,12 @@ def exhaustive_records(
     key = "exh_" + _recipe_key(task, 0, 0, space)
     if key in _MEMORY:
         return _MEMORY[key]
-    disk_path = cache_dir() / f"records_{task.dataset}_{task.arch}_{key}.pkl"
-    if use_disk and disk_path.exists():
-        with open(disk_path, "rb") as f:
-            records = pickle.load(f)
-        records = _refresh_profiles(records)
-        _MEMORY[key] = records
-        return records
-    records = profile_configs(task, space.enumerate(), graph=graph, workers=workers)
+    records = profile_configs(
+        task,
+        space.enumerate(),
+        graph=graph,
+        workers=workers,
+        cache_dir=str(cache_dir()) if use_disk else None,
+    )
     _MEMORY[key] = records
-    if use_disk:
-        with open(disk_path, "wb") as f:
-            pickle.dump(records, f)
     return records

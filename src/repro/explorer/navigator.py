@@ -64,6 +64,7 @@ class GNNavigator:
         seed: int = 0,
         workers: int | None = None,
         cache_dir: str | None = None,
+        profiler=None,
     ) -> None:
         if profile_budget < 8:
             raise ExplorationError("profile_budget must be at least 8")
@@ -77,6 +78,11 @@ class GNNavigator:
         self.seed = seed
         self.workers = workers
         self.cache_dir = cache_dir
+        #: optional profiling delegate with a ``ProfilingService``-shaped
+        #: ``profile(task, configs, graph=)`` — the serving layer injects a
+        #: server-held shared service here so Step 2 rides the multi-tenant
+        #: cache instead of a private one.
+        self.profiler = profiler
         self.estimator: GrayBoxEstimator | None = None
         self.records: list[GroundTruthRecord] = []
 
@@ -111,13 +117,18 @@ class GNNavigator:
                 train_frac=self.task.train_frac,
                 val_frac=self.task.val_frac,
             )
-            records = profile_configs(
-                profile_task,
-                sample,
-                graph=self.graph,
-                workers=workers if workers is not None else self.workers,
-                cache_dir=cache_dir if cache_dir is not None else self.cache_dir,
-            )
+            if self.profiler is not None:
+                records = self.profiler.profile(
+                    profile_task, sample, graph=self.graph
+                )
+            else:
+                records = profile_configs(
+                    profile_task,
+                    sample,
+                    graph=self.graph,
+                    workers=workers if workers is not None else self.workers,
+                    cache_dir=cache_dir if cache_dir is not None else self.cache_dir,
+                )
         self.records = list(records)
         self.estimator = GrayBoxEstimator(
             train_frac=self.task.train_frac, random_state=self.seed

@@ -29,8 +29,9 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -46,7 +47,9 @@ __all__ = [
     "ProfilingStats",
     "ResultStore",
     "candidate_key",
+    "default_store_dir",
     "graph_fingerprint",
+    "predicted_cost",
     "record_to_dict",
     "record_from_dict",
 ]
@@ -132,17 +135,37 @@ def record_from_dict(data: dict) -> GroundTruthRecord:
 
 
 # -------------------------------------------------------------------- store
+def default_store_dir() -> Path:
+    """The repo-local store directory shared by experiments and serving.
+
+    ``REPRO_STORE_DIR`` overrides it (CI and multi-checkout setups); the
+    default lives under the repo root so `repro serve`, `navigate
+    --shared-cache` and the experiment harness all hit the same entries.
+    """
+    env = os.environ.get("REPRO_STORE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".cache" / "store"
+
+
 class ResultStore:
     """On-disk JSON store of ground-truth records, one file per candidate.
 
     Writes are atomic (tmp file + rename) so a crashed run never leaves a
     half-written entry; reads treat anything unparsable or version-skewed as
-    a miss and delete the offending file.
+    a miss and delete the offending file.  One instance may be shared by
+    many threads (the serving layer does); the entry count is maintained
+    incrementally, so ``len(store)`` is O(1) rather than a directory re-glob
+    per call.  The count reflects this instance's view — a concurrent
+    *process* writing the same directory is only picked up by
+    :meth:`refresh`.
     """
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._count = sum(1 for _ in self.root.glob("gt_*.json"))
 
     def _path(self, key: str) -> Path:
         return self.root / f"gt_{key}.json"
@@ -162,10 +185,7 @@ class ResultStore:
             return None
         except Exception:
             # Corrupt/stale entry: discard it so the candidate re-measures.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._discard(path)
             return None
 
     def save(self, key: str, record: GroundTruthRecord) -> None:
@@ -181,10 +201,54 @@ class ResultStore:
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(envelope, f)
-        os.replace(tmp, path)
+        with self._lock:
+            fresh = not path.exists()
+            os.replace(tmp, path)
+            if fresh:
+                self._count += 1
+
+    def _discard(self, path: Path) -> None:
+        with self._lock:
+            try:
+                path.unlink()
+            except OSError:
+                return
+            self._count -= 1
+
+    def keys(self) -> list[str]:
+        """Candidate keys of every stored entry (sorted, point-in-time)."""
+        return sorted(p.stem[len("gt_") :] for p in self.root.glob("gt_*.json"))
+
+    def prune(self, max_entries: int) -> int:
+        """Evict oldest entries (by mtime) down to ``max_entries``; returns
+        how many were removed.  Entries deleted under us count as removed."""
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        paths = list(self.root.glob("gt_*.json"))
+        excess = len(paths) - max_entries
+        if excess <= 0:
+            return 0
+
+        def _mtime(p: Path) -> float:
+            try:
+                return p.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        removed = 0
+        for path in sorted(paths, key=_mtime)[:excess]:
+            self._discard(path)
+            removed += 1
+        return removed
+
+    def refresh(self) -> int:
+        """Re-count entries on disk (after another process wrote the dir)."""
+        with self._lock:
+            self._count = sum(1 for _ in self.root.glob("gt_*.json"))
+            return self._count
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("gt_*.json"))
+        return self._count
 
 
 # ------------------------------------------------------------------ workers
@@ -206,13 +270,43 @@ def _worker_run(config: TrainingConfig) -> GroundTruthRecord:
 
 
 # ------------------------------------------------------------------ service
+def predicted_cost(
+    task: TaskSpec, config: TrainingConfig, graph: CSRGraph
+) -> float:
+    """Cheap monotone proxy for one candidate's training cost.
+
+    Only the *ordering* matters (longest-first dispatch): epochs times the
+    per-epoch work, which scales with how many batches run, how many nodes
+    each mini-batch touches (bounded by the graph) and the dense compute per
+    touched node.
+    """
+    fanout = float(np.prod([1.0 + k for k in config.hop_list]))
+    batch_nodes = min(config.batch_size * fanout, float(graph.num_nodes))
+    num_batches = max(1.0, graph.num_nodes / config.batch_size)
+    per_node = float(config.hidden_channels * config.num_layers)
+    return task.epochs * num_batches * batch_nodes * per_node
+
+
 @dataclass
 class ProfilingStats:
-    """Where each requested candidate came from (one service lifetime)."""
+    """Where each requested candidate came from (one service lifetime).
+
+    Counter updates go through :meth:`bump` so concurrent serving jobs
+    sharing one service never lose increments to read-modify-write races.
+    """
 
     executed: int = 0  # actual training runs
     cache_hits: int = 0  # served from the persistent/in-memory store
     deduplicated: int = 0  # repeated candidates folded into one run
+    shared_inflight: int = 0  # served by waiting on another job's run
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, counter: str, n: int = 1) -> None:
+        """Atomically add ``n`` to one of the counters."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
 
 
 class ProfilingService:
@@ -290,6 +384,17 @@ class ProfilingService:
             return record
         return None
 
+    def commit(self, key, record: GroundTruthRecord) -> None:
+        """Publish one finished measurement to memory and the store.
+
+        The single write path for both :meth:`profile` and the serving
+        scheduler, so persistence invariants can never diverge between
+        them.
+        """
+        self._memory[key] = record
+        if self.store is not None:
+            self.store.save(key, record)
+
     def _execute(
         self,
         task: TaskSpec,
@@ -300,23 +405,32 @@ class ProfilingService:
     ) -> list[GroundTruthRecord]:
         """Run the unique pending candidates, serially or across the pool.
 
-        Results come back in submission order either way, which keeps the
-        service bit-identical to the serial profiler.
+        Results come back in input order either way, which keeps the service
+        bit-identical to the serial profiler.  Pool dispatch is cost-ordered
+        longest-first (:func:`predicted_cost`): submitting the heaviest
+        candidates before the cheap tail keeps a skewed batch from parking
+        one worker on a late-arriving giant while the others sit idle.
         """
         if not configs:
             return []
-        self.stats.executed += len(configs)
+        self.stats.bump("executed", len(configs))
         workers = min(self.max_workers or 1, len(configs))
         records: list[GroundTruthRecord] = []
         if workers <= 1:
             runs = (profile_one(task, c, graph=graph)[0] for c in configs)
         else:
+            order = sorted(
+                range(len(configs)),
+                key=lambda i: predicted_cost(task, configs[i], graph),
+                reverse=True,
+            )
             pool = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_worker_init,
                 initargs=(task, graph),
             )
-            runs = pool.map(_worker_run, configs)
+            futures = {i: pool.submit(_worker_run, configs[i]) for i in order}
+            runs = (futures[i].result() for i in range(len(configs)))
         try:
             for i, record in enumerate(runs):
                 records.append(record)
@@ -351,12 +465,12 @@ class ProfilingService:
         pending_keys: list = []
         for key, config in zip(keys, configs):
             if key in seen:
-                self.stats.deduplicated += 1
+                self.stats.bump("deduplicated")
                 continue
             seen.add(key)
             cached = self._lookup(key)
             if cached is not None:
-                self.stats.cache_hits += 1
+                self.stats.bump("cache_hits")
                 results[key] = cached
                 continue
             pending.append(config.canonical())
@@ -365,8 +479,6 @@ class ProfilingService:
         fresh = self._execute(task, pending, graph, progress=progress)
         for key, record in zip(pending_keys, fresh):
             results[key] = record
-            self._memory[key] = record
-            if self.store is not None:
-                self.store.save(key, record)
+            self.commit(key, record)
 
         return [results[key] for key in keys]

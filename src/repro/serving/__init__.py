@@ -1,0 +1,32 @@
+"""Multi-tenant navigation serving: queue, scheduler, server, client.
+
+Turns the single-user :class:`~repro.explorer.navigator.GNNavigator` into a
+service.  Many clients submit :class:`NavigationRequest`s; a priority job
+queue and a bounded worker pool multiplex them; one shared, in-flight-
+deduplicating profiling scheduler plus a persistent
+:class:`~repro.runtime.parallel.ResultStore` make every ground-truth
+measurement a one-time cost across all tenants.
+"""
+
+from repro.serving.client import JobHandle, NavigationClient
+from repro.serving.queue import PriorityJobQueue
+from repro.serving.scheduler import SharedProfilingService
+from repro.serving.server import NavigationServer
+from repro.serving.types import (
+    Job,
+    JobResult,
+    JobStatus,
+    NavigationRequest,
+)
+
+__all__ = [
+    "Job",
+    "JobHandle",
+    "JobResult",
+    "JobStatus",
+    "NavigationClient",
+    "NavigationRequest",
+    "NavigationServer",
+    "PriorityJobQueue",
+    "SharedProfilingService",
+]

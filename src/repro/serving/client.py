@@ -1,0 +1,93 @@
+"""Client-side view of a :class:`NavigationServer`.
+
+A :class:`NavigationClient` is a tenant's handle on a shared server: it
+builds requests from plain keyword arguments, tags them with the tenant
+name, and wraps submitted job ids in :class:`JobHandle`s that poll, block,
+and cancel without the caller touching server internals.  Batch helpers
+(:meth:`submit_many`, :meth:`navigate_many`) mirror the server's batch API.
+"""
+
+from __future__ import annotations
+
+from repro.config.settings import TaskSpec
+from repro.serving.server import NavigationServer
+from repro.serving.types import JobResult, JobStatus, NavigationRequest
+
+__all__ = ["JobHandle", "NavigationClient"]
+
+
+class JobHandle:
+    """One submitted job: poll ``status``, block on ``result``, ``cancel``."""
+
+    def __init__(self, server: NavigationServer, job_id: str) -> None:
+        self.server = server
+        self.job_id = job_id
+
+    @property
+    def status(self) -> JobStatus:
+        return self.server.status(self.job_id)
+
+    @property
+    def done(self) -> bool:
+        return self.server.job(self.job_id).done
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        return self.server.result(self.job_id, timeout)
+
+    def cancel(self) -> bool:
+        return self.server.cancel(self.job_id)
+
+    def __repr__(self) -> str:
+        return f"JobHandle({self.job_id}, {self.status.value})"
+
+
+class NavigationClient:
+    """A named tenant submitting navigation requests to a shared server."""
+
+    def __init__(self, server: NavigationServer, *, tenant: str = "") -> None:
+        self.server = server
+        self.tenant = tenant
+
+    def _build(self, task: TaskSpec | NavigationRequest, **kwargs) -> NavigationRequest:
+        if isinstance(task, NavigationRequest):
+            return task
+        return NavigationRequest(task=task, tag=self.tenant, **kwargs)
+
+    def submit(
+        self, task: TaskSpec | NavigationRequest, **kwargs
+    ) -> JobHandle:
+        """Submit one request (a :class:`TaskSpec` plus request kwargs, or a
+        ready-made :class:`NavigationRequest`)."""
+        request = self._build(task, **kwargs)
+        return JobHandle(self.server, self.server.submit(request))
+
+    def submit_many(
+        self, tasks: list[TaskSpec | NavigationRequest], **kwargs
+    ) -> list[JobHandle]:
+        """Submit a batch; one handle per task, in order."""
+        requests = [self._build(task, **kwargs) for task in tasks]
+        return [
+            JobHandle(self.server, job_id)
+            for job_id in self.server.submit_many(requests)
+        ]
+
+    def navigate(
+        self,
+        task: TaskSpec | NavigationRequest,
+        *,
+        timeout: float | None = None,
+        **kwargs,
+    ) -> JobResult:
+        """Submit and block for the result (the one-call convenience)."""
+        return self.submit(task, **kwargs).result(timeout)
+
+    def navigate_many(
+        self,
+        tasks: list[TaskSpec | NavigationRequest],
+        *,
+        timeout: float | None = None,
+        **kwargs,
+    ) -> list[JobResult]:
+        """Submit a batch and block for every result, in submission order."""
+        handles = self.submit_many(tasks, **kwargs)
+        return [handle.result(timeout) for handle in handles]

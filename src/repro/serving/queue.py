@@ -1,0 +1,78 @@
+"""Thread-safe priority queue of job ids with lazy cancellation.
+
+The server pushes job ids tagged with a client priority; worker threads pop
+the highest-priority id, FIFO within a priority level.  Cancellation is
+*lazy*: :meth:`PriorityJobQueue.discard` marks the id and the heap entry is
+dropped when it surfaces, so cancel is O(1) instead of an O(n) heap rebuild.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+from repro.errors import ServingError
+
+__all__ = ["PriorityJobQueue"]
+
+
+class PriorityJobQueue:
+    """Max-priority / FIFO-within-priority queue of job ids."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        # heapq is a min-heap: negate priority so larger runs first; the
+        # monotonic sequence breaks ties in submission order.
+        self._heap: list[tuple[int, int, str]] = []
+        self._discarded: set[str] = set()
+        self._seq = itertools.count()
+        self._closed = False
+
+    def push(self, job_id: str, priority: int = 0) -> None:
+        """Enqueue a job id; larger ``priority`` pops first."""
+        with self._not_empty:
+            if self._closed:
+                raise ServingError("queue is closed")
+            heapq.heappush(self._heap, (-priority, next(self._seq), job_id))
+            self._not_empty.notify()
+
+    def pop(self, timeout: float | None = None) -> str | None:
+        """Dequeue the most urgent live job id.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``); returns
+        ``None`` on timeout or once the queue is closed and drained.
+        """
+        with self._not_empty:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    if job_id in self._discarded:
+                        self._discarded.remove(job_id)
+                        continue
+                    return job_id
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+
+    def discard(self, job_id: str) -> None:
+        """Mark a queued id so :meth:`pop` skips it (idempotent)."""
+        with self._lock:
+            if any(jid == job_id for _, _, jid in self._heap):
+                self._discarded.add(job_id)
+
+    def close(self) -> None:
+        """Stop accepting pushes and wake every blocked :meth:`pop`."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap) - len(self._discarded)

@@ -1,0 +1,150 @@
+"""Cross-task profiling scheduler: one measurement per candidate, ever.
+
+Many concurrently-running jobs delegate Step-2 profiling to one shared
+:class:`~repro.runtime.parallel.ProfilingService`.  The service alone
+already dedups within a call and caches across calls, but two jobs racing
+on overlapping design-space samples would still measure the overlap twice —
+each sees the other's candidates as misses until they land in the store.
+
+:class:`SharedProfilingService` closes that hole with an *in-flight table*:
+before dispatching, each job claims the keys nobody else is measuring and
+registers an event for them; keys already claimed by another job are waited
+on instead of re-executed, and the finished records fan back out to every
+waiter through the service's shared memory/store.  The wrapper keeps the
+service's ``profile()`` contract (input order in, one record per config
+out), so it drops into :class:`~repro.explorer.navigator.GNNavigator`'s
+``profiler`` seat unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.config.settings import TaskSpec, TrainingConfig
+from repro.graphs.csr import CSRGraph
+from repro.graphs.datasets import load_dataset
+from repro.runtime.parallel import ProfilingService
+from repro.runtime.profiler import GroundTruthRecord
+
+__all__ = ["SharedProfilingService"]
+
+
+class SharedProfilingService:
+    """Thread-safe, in-flight-deduplicating front of one profiling service.
+
+    All state transitions happen under one lock; the actual training runs
+    (``service._execute``) happen outside it, so claimed batches from
+    different jobs execute concurrently when the service has pool workers.
+    """
+
+    def __init__(self, service: ProfilingService) -> None:
+        self.service = service
+        self._lock = threading.Lock()
+        self._inflight: dict[object, threading.Event] = {}
+
+    @property
+    def stats(self):
+        return self.service.stats
+
+    @property
+    def store(self):
+        return self.service.store
+
+    def profile(
+        self,
+        task: TaskSpec,
+        configs: list[TrainingConfig],
+        *,
+        graph: CSRGraph | None = None,
+        progress: bool = False,
+    ) -> list[GroundTruthRecord]:
+        """Measure every candidate, sharing work with concurrent callers.
+
+        Same contract as :meth:`ProfilingService.profile`: one record per
+        input config, in input order, identical to the serial path.
+        """
+        svc = self.service
+        graph = graph if graph is not None else load_dataset(task.dataset)
+        keys = svc._keys(task, configs, graph)
+
+        results: dict = {}
+        remaining: dict = {}  # key -> canonical config, insertion-ordered
+        for key, config in zip(keys, configs):
+            if key in results or key in remaining:
+                svc.stats.bump("deduplicated")
+                continue
+            remaining[key] = config.canonical()
+
+        while remaining:
+            mine: dict = {}
+            waits: dict[object, threading.Event] = {}
+            # Claim phase touches only in-process state — the lock is never
+            # held across disk I/O, so tenants don't serialize behind each
+            # other's store reads on a warm cache.
+            with self._lock:
+                for key in list(remaining):
+                    record = svc._memory.get(key)
+                    if record is not None:
+                        svc.stats.bump("cache_hits")
+                        results[key] = record
+                        del remaining[key]
+                        continue
+                    other = self._inflight.get(key)
+                    if other is not None:
+                        waits[key] = other
+                    else:
+                        event = threading.Event()
+                        self._inflight[key] = event
+                        mine[key] = remaining.pop(key)
+
+            # Store probe outside the lock: these keys are claimed, so no
+            # concurrent job can be measuring or probing them.
+            if mine and svc.store is not None:
+                for key in list(mine):
+                    record = svc.store.load(key)
+                    if record is None:
+                        continue
+                    del mine[key]
+                    with self._lock:
+                        svc._memory[key] = record
+                        svc.stats.bump("cache_hits")
+                        results[key] = record
+                        self._inflight.pop(key).set()
+
+            if mine:
+                try:
+                    fresh = svc._execute(
+                        task, list(mine.values()), graph, progress=progress
+                    )
+                except BaseException:
+                    # Release the claims so waiters re-claim and re-measure
+                    # instead of hanging on a measurement that never landed.
+                    with self._lock:
+                        for key in mine:
+                            event = self._inflight.pop(key, None)
+                            if event is not None:
+                                event.set()
+                    raise
+                for key, record in zip(mine, fresh):
+                    # memory + store write (store writes lock internally);
+                    # events only flip once the records are published.
+                    svc.commit(key, record)
+                with self._lock:
+                    for key, record in zip(mine, fresh):
+                        results[key] = record
+                        self._inflight.pop(key).set()
+
+            for key, event in waits.items():
+                # Block outside the lock until the owning job lands (or
+                # abandons) this key.
+                event.wait()
+                with self._lock:
+                    record = svc._memory.get(key)
+                    if record is not None:
+                        svc.stats.bump("shared_inflight")
+                        results[key] = record
+                        del remaining[key]
+                    # miss: the owner died before landing it — the key stays
+                    # in ``remaining`` and the next round re-claims it.
+
+        return [results[key] for key in keys]

@@ -1,0 +1,291 @@
+"""Multi-tenant navigation server.
+
+:class:`NavigationServer` turns the single-user :class:`GNNavigator` facade
+into a service: many clients submit :class:`NavigationRequest`s, a bounded
+pool of worker threads drains a priority queue, and every job's Step-2
+profiling is delegated to one :class:`SharedProfilingService` so the
+dominant cost — ground-truth training runs — is paid once per unique
+``(task, config, graph)`` across *all* tenants, in flight or in the
+persistent store.
+
+The server is in-process by design (the profiling service underneath fans
+out to worker *processes*; job threads spend their time waiting on it), so
+"client" and "server" share memory and polling is cheap.  Lifecycle::
+
+    with NavigationServer(cache_dir=...) as server:
+        job_id = server.submit(NavigationRequest(task=task))
+        result = server.result(job_id)         # blocks until DONE
+        jobs = server.drain()                  # or: wait for everything
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ServingError
+from repro.explorer.navigator import GNNavigator
+from repro.graphs.csr import CSRGraph
+from repro.graphs.datasets import load_dataset
+from repro.runtime.parallel import ProfilingService, ProfilingStats, ResultStore
+from repro.serving.queue import PriorityJobQueue
+from repro.serving.scheduler import SharedProfilingService
+from repro.serving.types import (
+    Job,
+    JobResult,
+    JobStatus,
+    NavigationRequest,
+)
+
+__all__ = ["NavigationServer"]
+
+
+class NavigationServer:
+    """Priority-scheduled, cache-sharing front-end over ``GNNavigator``.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent navigation jobs (worker threads).  Each job's profiling
+        additionally fans out across ``profile_workers`` processes.
+    profile_workers:
+        Process fan-out inside the shared profiling service (``None``/``0``/
+        ``1`` = in-process serial runs).
+    cache_dir:
+        Directory of the shared persistent :class:`ResultStore`; ``None``
+        keeps sharing in-memory only (still deduped across jobs).
+    graphs:
+        Pre-registered graphs by dataset name, consulted before
+        :func:`load_dataset` — lets tenants serve custom graphs and tests
+        serve fixtures.
+    space:
+        Server-wide design space every job explores (``None`` = the default
+        space).  One space for all tenants is what makes their Step-2
+        samples overlap — the whole point of sharing the store.
+    autostart:
+        Start worker threads immediately.  Pass ``False`` to stage
+        submissions first (deterministic priority-ordering tests), then call
+        :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        profile_workers: int | None = None,
+        cache_dir: str | None = None,
+        graphs: dict[str, CSRGraph] | None = None,
+        space=None,
+        autostart: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ServingError("a server needs at least one worker thread")
+        self.workers = workers
+        self.space = space
+        self.service = ProfilingService(
+            max_workers=profile_workers, cache_dir=cache_dir
+        )
+        self.profiler = SharedProfilingService(self.service)
+        self.queue = PriorityJobQueue()
+        self._graphs = dict(graphs or {})
+        self._lock = threading.Lock()
+        self._terminal = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._next_id = 0
+        self._started_seq = 0
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        if autostart:
+            self.start()
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Spin up the worker threads (idempotent; restarts after stop)."""
+        with self._lock:
+            if self._threads:
+                return
+            self._stopping = False
+            if self.queue.closed:
+                # stop() closed the previous queue to wake its workers; a
+                # restarted server needs a live one or submits would orphan
+                # PENDING jobs.
+                self.queue = PriorityJobQueue()
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"nav-serve-{i}",
+                    daemon=True,
+                )
+                for i in range(self.workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self) -> None:
+        """Drain nothing further: close the queue and join the workers.
+
+        PENDING jobs still queued are cancelled; the running ones finish.
+        """
+        with self._lock:
+            self._stopping = True
+        self.queue.close()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        with self._terminal:
+            for job in self._jobs.values():
+                if job.status is JobStatus.PENDING:
+                    job.status = JobStatus.CANCELLED
+            self._terminal.notify_all()
+
+    def __enter__(self) -> "NavigationServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- submission
+    def submit(self, request: NavigationRequest) -> str:
+        """Queue one request; returns the job id to poll."""
+        with self._lock:
+            if self._stopping:
+                raise ServingError("server is stopping; submission rejected")
+            job_id = f"job-{self._next_id:04d}"
+            self._next_id += 1
+            job = Job(
+                job_id=job_id, request=request, submitted_seq=self._next_id
+            )
+            self._jobs[job_id] = job
+        self.queue.push(job_id, request.priority)
+        return job_id
+
+    def submit_many(self, requests: list[NavigationRequest]) -> list[str]:
+        """Queue a batch; returns job ids in request order."""
+        return [self.submit(request) for request in requests]
+
+    # ---------------------------------------------------------------- polling
+    def _get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServingError(f"unknown job id {job_id!r}") from None
+
+    def status(self, job_id: str) -> JobStatus:
+        """Current lifecycle state of a job."""
+        return self._get(job_id).status
+
+    def job(self, job_id: str) -> Job:
+        """Full bookkeeping record of a job (live object, read-only use)."""
+        return self._get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every accepted job, in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.submitted_seq)
+
+    def result(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """Block until the job finishes and return its result.
+
+        Raises :class:`ServingError` on FAILED/CANCELLED jobs or timeout.
+        """
+        job = self._get(job_id)
+        with self._terminal:
+            if not self._terminal.wait_for(lambda: job.done, timeout):
+                raise ServingError(f"timed out waiting for {job_id}")
+        if job.status is JobStatus.DONE:
+            assert job.result is not None
+            return job.result
+        if job.status is JobStatus.CANCELLED:
+            raise ServingError(f"{job_id} was cancelled")
+        raise ServingError(f"{job_id} failed: {job.error}")
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a PENDING job; returns whether it was cancelled.
+
+        RUNNING and finished jobs are not interrupted (``False``).
+        """
+        job = self._get(job_id)
+        with self._terminal:
+            if job.status is not JobStatus.PENDING:
+                return False
+            job.status = JobStatus.CANCELLED
+            self.queue.discard(job_id)
+            self._terminal.notify_all()
+            return True
+
+    def drain(self, timeout: float | None = None) -> list[Job]:
+        """Block until every accepted job reaches a terminal state."""
+        with self._terminal:
+            done = lambda: all(j.done for j in self._jobs.values())  # noqa: E731
+            if not self._terminal.wait_for(done, timeout):
+                raise ServingError("timed out draining the server")
+        return self.jobs()
+
+    @property
+    def stats(self) -> ProfilingStats:
+        """Shared profiling counters across every job served so far."""
+        return self.service.stats
+
+    @property
+    def store(self) -> ResultStore | None:
+        """The shared persistent store (``None`` when memory-only)."""
+        return self.service.store
+
+    # ---------------------------------------------------------------- workers
+    def _resolve_graph(self, dataset: str) -> CSRGraph:
+        graph = self._graphs.get(dataset)
+        if graph is not None:
+            return graph
+        return load_dataset(dataset)
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self.queue.pop()
+            if job_id is None:
+                return
+            with self._terminal:
+                job = self._jobs[job_id]
+                if job.status is not JobStatus.PENDING:
+                    continue  # cancelled while queued
+                if self._stopping:
+                    job.status = JobStatus.CANCELLED
+                    self._terminal.notify_all()
+                    continue
+                job.status = JobStatus.RUNNING
+                job.started_seq = self._started_seq
+                self._started_seq += 1
+            try:
+                result = self._run(job.request)
+            except Exception as exc:  # noqa: BLE001 — jobs fail, servers don't
+                with self._terminal:
+                    job.status = JobStatus.FAILED
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    self._terminal.notify_all()
+            else:
+                with self._terminal:
+                    job.status = JobStatus.DONE
+                    job.result = result
+                    self._terminal.notify_all()
+
+    def _run(self, request: NavigationRequest) -> JobResult:
+        """Execute one navigation with profiling delegated to the scheduler."""
+        navigator = GNNavigator(
+            request.task,
+            space=self.space,
+            graph=self._resolve_graph(request.task.dataset),
+            profile_budget=request.budget,
+            profile_epochs=request.profile_epochs,
+            seed=request.seed,
+            profiler=self.profiler,
+        )
+        report = navigator.explore(
+            constraint=request.constraint,
+            priorities=list(request.priorities),
+        )
+        guidelines = {
+            name: report.guidelines[name] for name in request.priorities
+        }
+        perf = None
+        if request.train:
+            perf = navigator.apply(guidelines[request.priorities[0]])
+        return JobResult(guidelines=guidelines, report=report, perf=perf)

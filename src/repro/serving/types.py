@@ -1,0 +1,206 @@
+"""Request/job vocabulary of the navigation serving layer.
+
+A :class:`NavigationRequest` is what a client hands the server: the
+pre-determined task, the exploration objectives, the Step-2 profiling budget
+and a queue priority.  The server wraps each accepted request in a
+:class:`Job` that walks the lifecycle
+
+    PENDING -> RUNNING -> DONE | FAILED
+    PENDING -> CANCELLED
+
+and, on success, carries a :class:`JobResult` (the chosen guidelines plus
+the exploration report, and the measured training run when the request asked
+for one).  Requests round-trip through plain dicts so job files and stdin
+specs feed ``repro serve`` directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.config.settings import TaskSpec
+from repro.errors import ServingError
+from repro.explorer.constraints import RuntimeConstraint
+from repro.explorer.decision import Guideline
+from repro.explorer.navigator import NavigatorReport
+from repro.explorer.objectives import PRIORITY_PRESETS
+from repro.runtime.report import PerfReport
+
+__all__ = ["JobStatus", "NavigationRequest", "JobResult", "Job", "TERMINAL_STATES"]
+
+
+class JobStatus(str, enum.Enum):
+    """Lifecycle states of a served navigation job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: states a job can never leave.
+TERMINAL_STATES = frozenset(
+    {JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED}
+)
+
+
+@dataclass(frozen=True)
+class NavigationRequest:
+    """One client's ask: navigate ``task`` for the given objectives.
+
+    ``priority`` orders the server queue (higher runs first);
+    ``priorities`` are the exploration objectives (paper Table 1 modes).
+    ``train`` additionally executes the chosen guideline on the backend
+    (Step 3) and attaches the measured :class:`PerfReport`.
+    """
+
+    task: TaskSpec
+    priorities: tuple[str, ...] = ("balance",)
+    budget: int = 16
+    profile_epochs: int = 2
+    seed: int = 0
+    priority: int = 0
+    constraint: RuntimeConstraint | None = None
+    train: bool = False
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.budget < 8:
+            raise ServingError("budget must be at least 8 (estimator minimum)")
+        if not self.priorities:
+            raise ServingError("at least one exploration priority is required")
+        unknown = [p for p in self.priorities if p not in PRIORITY_PRESETS]
+        if unknown:
+            raise ServingError(
+                f"unknown exploration priorities {unknown}; "
+                f"known: {sorted(PRIORITY_PRESETS)}"
+            )
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-friendly spec (the ``repro serve`` job-file format)."""
+        out = {
+            "dataset": self.task.dataset,
+            "arch": self.task.arch,
+            "platform": self.task.platform,
+            "epochs": self.task.epochs,
+            "lr": self.task.lr,
+            "task_seed": self.task.seed,
+            "priorities": list(self.priorities),
+            "budget": self.budget,
+            "profile_epochs": self.profile_epochs,
+            "seed": self.seed,
+            "priority": self.priority,
+            "train": self.train,
+            "tag": self.tag,
+        }
+        if self.constraint is not None:
+            if self.constraint.max_time_s is not None:
+                out["max_time_ms"] = self.constraint.max_time_s * 1e3
+            if self.constraint.max_memory_bytes is not None:
+                out["max_memory_mib"] = self.constraint.max_memory_bytes / 2**20
+            if self.constraint.min_accuracy is not None:
+                out["min_accuracy"] = self.constraint.min_accuracy
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "NavigationRequest":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected early so a
+        typo in a job file fails at submit, not after hours in the queue."""
+        known = {
+            "dataset",
+            "arch",
+            "platform",
+            "epochs",
+            "lr",
+            "task_seed",
+            "priorities",
+            "budget",
+            "profile_epochs",
+            "seed",
+            "priority",
+            "train",
+            "tag",
+            "max_time_ms",
+            "max_memory_mib",
+            "min_accuracy",
+        }
+        unknown = set(spec) - known
+        if unknown:
+            raise ServingError(f"unknown request keys: {sorted(unknown)}")
+        if "dataset" not in spec:
+            raise ServingError("request spec needs at least a 'dataset'")
+        task_kwargs = {"dataset": spec["dataset"]}
+        for key in ("arch", "platform", "epochs", "lr"):
+            if key in spec:
+                task_kwargs[key] = spec[key]
+        if "task_seed" in spec:
+            task_kwargs["seed"] = spec["task_seed"]
+        constraint = None
+        if {"max_time_ms", "max_memory_mib", "min_accuracy"} & set(spec):
+            constraint = RuntimeConstraint(
+                max_time_s=(
+                    None
+                    if spec.get("max_time_ms") is None
+                    else spec["max_time_ms"] / 1e3
+                ),
+                max_memory_bytes=(
+                    None
+                    if spec.get("max_memory_mib") is None
+                    else spec["max_memory_mib"] * 2**20
+                ),
+                min_accuracy=spec.get("min_accuracy"),
+            )
+        return cls(
+            task=TaskSpec(**task_kwargs),
+            priorities=tuple(spec.get("priorities", ("balance",))),
+            budget=spec.get("budget", 16),
+            profile_epochs=spec.get("profile_epochs", 2),
+            seed=spec.get("seed", 0),
+            priority=spec.get("priority", 0),
+            constraint=constraint,
+            train=spec.get("train", False),
+            tag=spec.get("tag", ""),
+        )
+
+
+@dataclass
+class JobResult:
+    """What a DONE job produced."""
+
+    guidelines: dict[str, Guideline]
+    report: NavigatorReport
+    perf: PerfReport | None = None
+
+    def best(self) -> Guideline:
+        """The guideline for the request's first (primary) objective."""
+        return next(iter(self.guidelines.values()))
+
+
+@dataclass
+class Job:
+    """Server-side bookkeeping of one accepted request."""
+
+    job_id: str
+    request: NavigationRequest
+    status: JobStatus = JobStatus.PENDING
+    result: JobResult | None = None
+    error: str | None = None
+    submitted_seq: int = 0  # monotonic submission order (FIFO tiebreak)
+    started_seq: int | None = None  # monotonic start order (None = never ran)
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def describe(self) -> str:
+        req = self.request
+        what = f"{req.task.dataset}+{req.task.arch} {'/'.join(req.priorities)}"
+        line = f"{self.job_id} [{self.status.value}] {what}"
+        if self.status is JobStatus.DONE and self.result is not None:
+            line += f" -> {self.result.best().describe()}"
+        elif self.status is JobStatus.FAILED:
+            line += f" -> {self.error}"
+        return line

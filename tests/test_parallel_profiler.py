@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -12,6 +13,7 @@ from repro.runtime.parallel import (
     ResultStore,
     candidate_key,
     graph_fingerprint,
+    predicted_cost,
     record_from_dict,
     record_to_dict,
 )
@@ -124,6 +126,80 @@ class TestProfilingService:
     def test_rejects_negative_workers(self):
         with pytest.raises(ValueError):
             ProfilingService(max_workers=-1)
+
+    def test_cost_ordering_is_monotone(self, small_graph, tiny_task):
+        cheap = TrainingConfig(
+            batch_size=256, hop_list=(2,), hidden_channels=8, num_layers=1
+        )
+        heavy = TrainingConfig(
+            batch_size=32, hop_list=(10, 10), hidden_channels=128, num_layers=3
+        )
+        assert predicted_cost(tiny_task, heavy, small_graph) > predicted_cost(
+            tiny_task, cheap, small_graph
+        )
+        # more epochs, same knobs -> strictly costlier
+        longer = TaskSpec(dataset=tiny_task.dataset, epochs=8)
+        assert predicted_cost(longer, cheap, small_graph) > predicted_cost(
+            tiny_task, cheap, small_graph
+        )
+
+
+class TestStoreManagement:
+    def _populate(self, store: ResultStore, record, n: int) -> list[str]:
+        keys = [f"{i:032x}" for i in range(n)]
+        for key in keys:
+            store.save(key, record)
+        return keys
+
+    @pytest.fixture()
+    def record(self, small_graph, tiny_task, configs):
+        return profile_configs(tiny_task, configs[:1], graph=small_graph)[0]
+
+    def test_keys_lists_entries(self, tmp_path, record):
+        store = ResultStore(tmp_path)
+        keys = self._populate(store, record, 3)
+        assert store.keys() == sorted(keys)
+
+    def test_len_is_cached_and_tracks_saves(self, tmp_path, record):
+        store = ResultStore(tmp_path)
+        self._populate(store, record, 3)
+        assert len(store) == 3
+        store.save("0" * 32, record)  # overwrite: count unchanged
+        assert len(store) == 3
+        # a second instance on the same dir counts what is on disk
+        assert len(ResultStore(tmp_path)) == 3
+
+    def test_len_tracks_corrupt_discard(self, tmp_path, record):
+        store = ResultStore(tmp_path)
+        self._populate(store, record, 2)
+        victim = sorted(tmp_path.glob("gt_*.json"))[0]
+        victim.write_text("{broken")
+        assert store.load(victim.stem[len("gt_") :]) is None
+        assert len(store) == 1
+
+    def test_prune_evicts_oldest(self, tmp_path, record):
+        store = ResultStore(tmp_path)
+        keys = self._populate(store, record, 5)
+        paths = [tmp_path / f"gt_{k}.json" for k in keys]
+        now = paths[-1].stat().st_mtime
+        for age, path in enumerate(reversed(paths)):
+            os.utime(path, (now - age, now - age))  # paths[0] oldest
+        assert store.prune(max_entries=2) == 3
+        assert len(store) == 2
+        assert store.keys() == sorted(keys[-2:])
+        assert store.prune(max_entries=2) == 0  # already within budget
+
+    def test_prune_rejects_negative(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path).prune(-1)
+
+    def test_refresh_counts_foreign_writes(self, tmp_path, record):
+        store = ResultStore(tmp_path)
+        other = ResultStore(tmp_path)  # simulates another process
+        other.save("f" * 32, record)
+        assert len(store) == 0  # instance view is stale by design
+        assert store.refresh() == 1
+        assert len(store) == 1
 
 
 class TestIntegration:
