@@ -107,6 +107,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep result sharing in-memory only (no persistent store)",
     )
+    serve.add_argument(
+        "--fair",
+        action="store_true",
+        help="schedule tenants by weighted round-robin (fair-share) instead "
+        "of pure priority, so one chatty tenant cannot starve the rest",
+    )
+    serve.add_argument(
+        "--max-inflight-per-tenant",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap concurrent jobs per tenant (default: unlimited)",
+    )
+    serve.add_argument(
+        "--store-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict least-recently-written store entries past N "
+        "(default: unbounded)",
+    )
 
     tmpl = sub.add_parser("templates", help="run the baseline templates")
     tmpl.add_argument("--dataset", default="reddit2")
@@ -167,6 +188,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.serve_workers,
         profile_workers=args.workers,
         cache_dir=cache_dir,
+        fairness=args.fair,
+        max_inflight=args.max_inflight_per_tenant,
+        store_budget=args.store_budget,
     ) as server:
         job_ids = server.submit_many(requests)
         print(
@@ -203,7 +227,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"profiling: {stats.executed} runs, {stats.cache_hits} cache hits, "
         f"{stats.shared_inflight} shared in-flight, "
-        f"{stats.deduplicated} deduplicated"
+        f"{stats.deduplicated} deduplicated, {stats.evictions} evicted"
     )
     return 0 if all(j.status.value == "done" for j in jobs) else 1
 

@@ -38,3 +38,12 @@ class ExplorationError(ReproError):
 
 class ServingError(ReproError):
     """The navigation serving layer was misused or a served job failed."""
+
+
+class JobCancelled(ReproError):
+    """A cooperatively-cancelled job observed its cancellation token.
+
+    Raised from cancellation checkpoints (profiling-batch boundaries and
+    navigation phase transitions); the serving worker loop catches it and
+    parks the job in ``CANCELLED`` instead of ``FAILED``.
+    """

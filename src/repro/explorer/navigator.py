@@ -65,6 +65,7 @@ class GNNavigator:
         workers: int | None = None,
         cache_dir: str | None = None,
         profiler=None,
+        cancel=None,
     ) -> None:
         if profile_budget < 8:
             raise ExplorationError("profile_budget must be at least 8")
@@ -83,8 +84,17 @@ class GNNavigator:
         #: server-held shared service here so Step 2 rides the multi-tenant
         #: cache instead of a private one.
         self.profiler = profiler
+        #: optional :class:`~repro.runtime.parallel.CancellationToken`
+        #: checked at phase transitions and threaded into Step-2 profiling,
+        #: where it is polled between candidate training runs — the serving
+        #: layer's cooperative RUNNING-job cancellation rides this seat.
+        self.cancel = cancel
         self.estimator: GrayBoxEstimator | None = None
         self.records: list[GroundTruthRecord] = []
+
+    def _checkpoint(self) -> None:
+        if self.cancel is not None:
+            self.cancel.raise_if_cancelled()
 
     # ------------------------------------------------------------ step 2a/2b
     def fit_estimator(
@@ -101,6 +111,7 @@ class GNNavigator:
         ``cache_dir`` persists them via the profiling service; both default
         to the navigator-level settings.
         """
+        self._checkpoint()
         if records is None:
             rng = np.random.default_rng(self.seed)
             sample = self.space.sample(self.profile_budget, rng=rng)
@@ -118,8 +129,9 @@ class GNNavigator:
                 val_frac=self.task.val_frac,
             )
             if self.profiler is not None:
+                kwargs = {} if self.cancel is None else {"cancel": self.cancel}
                 records = self.profiler.profile(
-                    profile_task, sample, graph=self.graph
+                    profile_task, sample, graph=self.graph, **kwargs
                 )
             else:
                 records = profile_configs(
@@ -128,6 +140,7 @@ class GNNavigator:
                     graph=self.graph,
                     workers=workers if workers is not None else self.workers,
                     cache_dir=cache_dir if cache_dir is not None else self.cache_dir,
+                    cancel=self.cancel,
                 )
         self.records = list(records)
         self.estimator = GrayBoxEstimator(
@@ -146,6 +159,7 @@ class GNNavigator:
         """Step 2: DFS exploration + decision making for each priority."""
         if self.estimator is None:
             self.fit_estimator()
+        self._checkpoint()
         explorer = DFSExplorer(self.space, self.estimator, self.profile, self.platform)
         result = explorer.explore(
             constraint=constraint,
@@ -168,6 +182,7 @@ class GNNavigator:
     # ---------------------------------------------------------------- step 3
     def apply(self, guideline: Guideline | TrainingConfig) -> PerfReport:
         """Train with a guideline on the runtime backend; measured Perf."""
+        self._checkpoint()
         config = (
             guideline.config if isinstance(guideline, Guideline) else guideline
         )

@@ -37,12 +37,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.config.settings import TaskSpec, TrainingConfig
+from repro.errors import JobCancelled
 from repro.graphs.csr import CSRGraph
 from repro.graphs.datasets import load_dataset
 from repro.graphs.profiling import GraphProfile
 from repro.runtime.profiler import GroundTruthRecord, profile_one
 
 __all__ = [
+    "CancellationToken",
     "ProfilingService",
     "ProfilingStats",
     "ResultStore",
@@ -68,6 +70,38 @@ GROUND_TRUTH_VERSION = 1
 #: new fields join the key automatically (``extra`` is compare-excluded and
 #: may hold non-JSON payloads, so it stays out).
 _TASK_FIELDS = tuple(f.name for f in dataclasses.fields(TaskSpec) if f.compare)
+
+
+# ------------------------------------------------------------- cancellation
+class CancellationToken:
+    """Cooperative cancellation flag shared between a job and its canceller.
+
+    Profiling is a sequence of full training runs, so preemption is neither
+    safe nor needed: the canceller flips the token from any thread and the
+    running side polls it at *batch boundaries* — between candidate runs in
+    :meth:`ProfilingService._execute` and between claim rounds in the
+    serving scheduler — via :meth:`raise_if_cancelled`, which raises
+    :class:`~repro.errors.JobCancelled`.  A candidate already training runs
+    to completion; nothing after the next checkpoint does.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, thread-safe)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        """Checkpoint: raise :class:`JobCancelled` once cancel was requested."""
+        if self._event.is_set():
+            raise JobCancelled("job cancelled at a profiling-batch boundary")
 
 
 # --------------------------------------------------------------------- keys
@@ -207,13 +241,15 @@ class ResultStore:
             if fresh:
                 self._count += 1
 
-    def _discard(self, path: Path) -> None:
+    def _discard(self, path: Path) -> bool:
+        """Delete one entry; ``True`` only if *this* caller removed it."""
         with self._lock:
             try:
                 path.unlink()
             except OSError:
-                return
+                return False
             self._count -= 1
+            return True
 
     def keys(self) -> list[str]:
         """Candidate keys of every stored entry (sorted, point-in-time)."""
@@ -221,7 +257,8 @@ class ResultStore:
 
     def prune(self, max_entries: int) -> int:
         """Evict oldest entries (by mtime) down to ``max_entries``; returns
-        how many were removed.  Entries deleted under us count as removed."""
+        how many *this caller* removed.  Entries a concurrent pruner deleted
+        under us are not double-counted (they were its removals)."""
         if max_entries < 0:
             raise ValueError("max_entries must be non-negative")
         paths = list(self.root.glob("gt_*.json"))
@@ -237,8 +274,8 @@ class ResultStore:
 
         removed = 0
         for path in sorted(paths, key=_mtime)[:excess]:
-            self._discard(path)
-            removed += 1
+            if self._discard(path):
+                removed += 1
         return removed
 
     def refresh(self) -> int:
@@ -299,6 +336,7 @@ class ProfilingStats:
     cache_hits: int = 0  # served from the persistent/in-memory store
     deduplicated: int = 0  # repeated candidates folded into one run
     shared_inflight: int = 0  # served by waiting on another job's run
+    evictions: int = 0  # store entries removed by the size budget
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -321,6 +359,12 @@ class ProfilingService:
     cache_dir:
         Directory for the persistent :class:`ResultStore`; ``None`` disables
         persistence (dedup and in-memory reuse still apply).
+    store_budget:
+        Maximum entries the persistent store may hold.  Every commit that
+        pushes the store past the budget prunes it (LRU by mtime, counted
+        in ``stats.evictions``) down to ~90% of the budget — the slack
+        amortizes the prune scan across commits; ``None`` = unbounded.
+        The in-memory layer is unaffected, so hot records stay served.
     """
 
     def __init__(
@@ -328,10 +372,14 @@ class ProfilingService:
         *,
         max_workers: int | None = None,
         cache_dir: str | os.PathLike | None = None,
+        store_budget: int | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 0:
             raise ValueError("max_workers must be non-negative")
+        if store_budget is not None and store_budget < 1:
+            raise ValueError("store_budget must be at least 1")
         self.max_workers = max_workers
+        self.store_budget = store_budget
         self.store = ResultStore(cache_dir) if cache_dir is not None else None
         self.stats = ProfilingStats()
         self._memory: dict = {}
@@ -388,12 +436,24 @@ class ProfilingService:
         """Publish one finished measurement to memory and the store.
 
         The single write path for both :meth:`profile` and the serving
-        scheduler, so persistence invariants can never diverge between
-        them.
+        scheduler, so persistence invariants — including the size budget —
+        can never diverge between them.
         """
         self._memory[key] = record
         if self.store is not None:
             self.store.save(key, record)
+            if (
+                self.store_budget is not None
+                and len(self.store) > self.store_budget
+            ):
+                # 10% hysteresis: pruning slightly below the budget keeps a
+                # full store from paying prune's directory scan on every
+                # subsequent commit (no-op for budgets under 10, where the
+                # slack rounds to zero).
+                target = self.store_budget - self.store_budget // 10
+                removed = self.store.prune(target)
+                if removed:
+                    self.stats.bump("evictions", removed)
 
     def _execute(
         self,
@@ -402,6 +462,8 @@ class ProfilingService:
         graph: CSRGraph,
         *,
         progress: bool = False,
+        cancel: CancellationToken | None = None,
+        keys: list | None = None,
     ) -> list[GroundTruthRecord]:
         """Run the unique pending candidates, serially or across the pool.
 
@@ -410,14 +472,33 @@ class ProfilingService:
         longest-first (:func:`predicted_cost`): submitting the heaviest
         candidates before the cheap tail keeps a skewed batch from parking
         one worker on a late-arriving giant while the others sit idle.
+
+        ``cancel`` is polled between candidate runs (serial) or result
+        collections (pool) — the cooperative batch boundary.  On the pool
+        path, not-yet-started futures are cancelled; candidates already
+        training finish and are discarded.  ``stats.executed`` counts only
+        completed runs, so an aborted batch never overstates the work done.
+
+        ``keys`` (parallel to ``configs``) makes the run publish as it
+        goes: each completed record is :meth:`commit`-ted immediately, so
+        an aborted batch keeps every training run it finished — waiters and
+        later callers serve them from memory/store instead of re-measuring.
         """
         if not configs:
             return []
-        self.stats.bump("executed", len(configs))
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         workers = min(self.max_workers or 1, len(configs))
         records: list[GroundTruthRecord] = []
+
+        def _serial():
+            for c in configs:
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
+                yield profile_one(task, c, graph=graph)[0]
+
         if workers <= 1:
-            runs = (profile_one(task, c, graph=graph)[0] for c in configs)
+            runs = _serial()
         else:
             order = sorted(
                 range(len(configs)),
@@ -430,10 +511,37 @@ class ProfilingService:
                 initargs=(task, graph),
             )
             futures = {i: pool.submit(_worker_run, configs[i]) for i in order}
-            runs = (futures[i].result() for i in range(len(configs)))
+
+            def _collect():
+                for i in range(len(configs)):
+                    if cancel is not None and cancel.cancelled:
+                        for future in futures.values():
+                            future.cancel()
+                        if keys is not None:
+                            # Candidates already dispatched keep training
+                            # (shutdown waits for them regardless); publish
+                            # every run that finishes so the abort wastes
+                            # none of them.  Cancelled futures never ran.
+                            for j in range(i, len(configs)):
+                                future = futures[j]
+                                if future.cancelled():
+                                    continue
+                                try:
+                                    record = future.result()
+                                except BaseException:
+                                    continue
+                                self.commit(keys[j], record)
+                                self.stats.bump("executed")
+                        cancel.raise_if_cancelled()
+                    yield futures[i].result()
+
+            runs = _collect()
         try:
             for i, record in enumerate(runs):
                 records.append(record)
+                if keys is not None:
+                    self.commit(keys[i], record)
+                self.stats.bump("executed")
                 if progress and (i + 1) % 10 == 0:
                     print(f"profiled {i + 1}/{len(configs)} candidates")
         finally:
@@ -449,12 +557,17 @@ class ProfilingService:
         *,
         graph: CSRGraph | None = None,
         progress: bool = False,
+        cancel: CancellationToken | None = None,
     ) -> list[GroundTruthRecord]:
         """Measure every candidate, returning one record per input config.
 
         Output order matches input order and values match the serial
         :func:`~repro.runtime.profiler.profile_one` path exactly; repeated
         and previously-measured candidates are served without retraining.
+        ``cancel`` aborts between candidate runs with
+        :class:`~repro.errors.JobCancelled`; candidates that completed
+        before the abort are already committed, so a cancelled call wastes
+        no finished training run.
         """
         graph = graph if graph is not None else load_dataset(task.dataset)
 
@@ -476,9 +589,15 @@ class ProfilingService:
             pending.append(config.canonical())
             pending_keys.append(key)
 
-        fresh = self._execute(task, pending, graph, progress=progress)
+        fresh = self._execute(
+            task,
+            pending,
+            graph,
+            progress=progress,
+            cancel=cancel,
+            keys=pending_keys,  # _execute commits each record as it lands
+        )
         for key, record in zip(pending_keys, fresh):
             results[key] = record
-            self.commit(key, record)
 
         return [results[key] for key in keys]

@@ -105,15 +105,20 @@ def profile_configs(
     progress: bool = False,
     workers: int | None = None,
     cache_dir: str | None = None,
+    cancel=None,
 ) -> list[GroundTruthRecord]:
     """Execute every candidate on the backend (the Fig. 6 protocol).
 
     Thin wrapper over :class:`~repro.runtime.parallel.ProfilingService`:
     ``workers`` fans the runs out across processes, ``cache_dir`` persists
-    results so repeat profiling is free.  Output is identical to the
+    results so repeat profiling is free, and ``cancel`` (a
+    :class:`~repro.runtime.parallel.CancellationToken`) aborts between
+    candidate runs.  Output is identical to the
     one-:func:`profile_one`-per-config serial loop for the same seed.
     """
     from repro.runtime.parallel import ProfilingService
 
     service = ProfilingService(max_workers=workers, cache_dir=cache_dir)
-    return service.profile(task, configs, graph=graph, progress=progress)
+    return service.profile(
+        task, configs, graph=graph, progress=progress, cancel=cancel
+    )

@@ -51,7 +51,11 @@ class NavigationClient:
     def _build(self, task: TaskSpec | NavigationRequest, **kwargs) -> NavigationRequest:
         if isinstance(task, NavigationRequest):
             return task
-        return NavigationRequest(task=task, tag=self.tenant, **kwargs)
+        # tenant routes fair-share scheduling and quotas; tag mirrors it for
+        # human-readable job listings (callers may override either).
+        kwargs.setdefault("tag", self.tenant)
+        kwargs.setdefault("tenant", self.tenant)
+        return NavigationRequest(task=task, **kwargs)
 
     def submit(
         self, task: TaskSpec | NavigationRequest, **kwargs

@@ -1,9 +1,32 @@
-"""Thread-safe priority queue of job ids with lazy cancellation.
+"""Thread-safe tenant-aware priority queue of job ids with lazy cancellation.
 
-The server pushes job ids tagged with a client priority; worker threads pop
-the highest-priority id, FIFO within a priority level.  Cancellation is
-*lazy*: :meth:`PriorityJobQueue.discard` marks the id and the heap entry is
-dropped when it surfaces, so cancel is O(1) instead of an O(n) heap rebuild.
+The server pushes job ids tagged with a client priority and a tenant name;
+worker threads pop the next id to run.  Two scheduling policies share one
+structure — a heap *lane* per tenant, max-priority / FIFO-within-priority
+inside each lane:
+
+* **priority** (default): pop the globally most urgent entry across all
+  lanes — identical to a single priority heap, one chatty tenant can front-
+  run everyone;
+* **fair-share** (``fairness=True``): weighted round-robin *across* lanes
+  via stride scheduling (each pop advances the chosen tenant's virtual pass
+  by ``1/weight``; the lane with the smallest pass runs next), priority
+  still ordering candidates *within* a tenant's lane.  A tenant that burst-
+  submits can no longer starve the queue: every other tenant gets its turn
+  each cycle, in proportion to its weight.
+
+Per-tenant ``max_inflight`` quotas bound how many of a tenant's jobs run
+concurrently in either mode: :meth:`pop` skips lanes at quota and
+:meth:`task_done` reopens them.  Once the queue is :meth:`close`-d, quotas
+stop gating pops so shutdown always drains.
+
+Cancellation is *lazy*: :meth:`discard` marks the id — unconditionally, in
+O(1) — and the heap entry is dropped when it surfaces in :meth:`pop`, so
+cancel never pays an O(n) heap rebuild.  Discarding an id that is not
+queued leaves a stale mark that a later push of the same id clears;
+re-pushing an id that is *still queued* (discarded or not) is rejected, so
+one id can never dispatch twice.  Job ids are never reused, so in practice
+stale marks are inert.
 """
 
 from __future__ import annotations
@@ -11,6 +34,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 
 from repro.errors import ServingError
 
@@ -18,50 +42,181 @@ __all__ = ["PriorityJobQueue"]
 
 
 class PriorityJobQueue:
-    """Max-priority / FIFO-within-priority queue of job ids."""
+    """Max-priority / FIFO-within-priority queue of job ids, tenant-aware.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    fairness:
+        ``True`` schedules lanes by weighted round-robin instead of global
+        priority order (see module docstring).
+    weights:
+        Fair-share weights by tenant name (default 1 each): a tenant with
+        weight ``w`` receives ``w`` pops per round-robin cycle.
+    quotas:
+        Per-tenant ``max_inflight`` overrides (tenant name -> cap).
+    max_inflight:
+        Default in-flight cap applied to every tenant without an explicit
+        quota; ``None`` = unlimited.
+    """
+
+    def __init__(
+        self,
+        *,
+        fairness: bool = False,
+        weights: dict[str, int] | None = None,
+        quotas: dict[str, int] | None = None,
+        max_inflight: int | None = None,
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ServingError("max_inflight must be at least 1")
+        for name, table in (("weights", weights), ("quotas", quotas)):
+            for tenant, value in (table or {}).items():
+                if value < 1:
+                    raise ServingError(
+                        f"{name}[{tenant!r}] must be at least 1, got {value}"
+                    )
+        self.fairness = fairness
+        self._weights = dict(weights or {})
+        self._quotas = dict(quotas or {})
+        self._max_inflight = max_inflight
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         # heapq is a min-heap: negate priority so larger runs first; the
-        # monotonic sequence breaks ties in submission order.
-        self._heap: list[tuple[int, int, str]] = []
+        # monotonic sequence breaks ties in submission order (globally, so
+        # priority mode is bit-identical to the old single-heap queue).
+        self._lanes: dict[str, list[tuple[int, int, str]]] = {}
+        self._tenant_of: dict[str, str] = {}  # queued job id -> its lane
         self._discarded: set[str] = set()
+        self._inflight: dict[str, int] = {}
+        self._passes: dict[str, float] = {}  # stride-scheduling virtual time
+        self._vtime = 0.0  # pass consumed by the most recent fair pop
+        self._size = 0  # live (queued, not discarded) entries
         self._seq = itertools.count()
         self._closed = False
 
-    def push(self, job_id: str, priority: int = 0) -> None:
-        """Enqueue a job id; larger ``priority`` pops first."""
+    # -------------------------------------------------------------- plumbing
+    def _weight(self, tenant: str) -> int:
+        return max(1, self._weights.get(tenant, 1))
+
+    def _quota(self, tenant: str) -> int | None:
+        return self._quotas.get(tenant, self._max_inflight)
+
+    def _has_capacity(self, tenant: str) -> bool:
+        quota = self._quota(tenant)
+        return quota is None or self._inflight.get(tenant, 0) < quota
+
+    def _live_head(self, tenant: str) -> tuple[int, int, str] | None:
+        """Top live entry of one lane, dropping discarded entries (lock held)."""
+        heap = self._lanes[tenant]
+        while heap and heap[0][2] in self._discarded:
+            _, _, dead = heapq.heappop(heap)
+            self._discarded.remove(dead)
+            self._tenant_of.pop(dead, None)
+        return heap[0] if heap else None
+
+    def _select(self) -> str | None:
+        """Pop and return the next runnable job id, or ``None`` (lock held)."""
+        lanes: list[tuple[str, tuple[int, int, str]]] = []
+        for tenant in list(self._lanes):
+            head = self._live_head(tenant)
+            if head is None:
+                del self._lanes[tenant]
+                continue
+            # A closed queue is draining into CANCELLED markers, not real
+            # work — quota gating would deadlock shutdown, so skip it.
+            if not self._closed and not self._has_capacity(tenant):
+                continue
+            lanes.append((tenant, head))
+        if not lanes:
+            return None
+        if self.fairness:
+            tenant = min(
+                lanes, key=lambda th: (self._passes.get(th[0], 0.0), th[0])
+            )[0]
+            here = self._passes.get(tenant, 0.0)
+            self._vtime = max(self._vtime, here)
+            self._passes[tenant] = here + 1.0 / self._weight(tenant)
+        else:
+            tenant = min(lanes, key=lambda th: th[1][:2])[0]
+        _, _, job_id = heapq.heappop(self._lanes[tenant])
+        if not self._lanes[tenant]:
+            del self._lanes[tenant]
+        self._tenant_of.pop(job_id, None)
+        self._size -= 1
+        self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+        return job_id
+
+    # ------------------------------------------------------------------- API
+    def push(self, job_id: str, priority: int = 0, tenant: str = "") -> None:
+        """Enqueue a job id; larger ``priority`` pops first within a lane."""
         with self._not_empty:
             if self._closed:
                 raise ServingError("queue is closed")
-            heapq.heappush(self._heap, (-priority, next(self._seq), job_id))
+            if job_id in self._tenant_of:
+                # A second live entry for one id would dispatch twice (and
+                # silently corrupt the size/discard accounting).
+                raise ServingError(f"job id {job_id!r} is already queued")
+            # A push supersedes any stale discard mark for the same id.
+            self._discarded.discard(job_id)
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                lane = self._lanes[tenant] = []
+                # A (re)joining lane starts at the current virtual time so a
+                # tenant idle for a while cannot bank turns and then burst.
+                self._passes[tenant] = max(
+                    self._passes.get(tenant, 0.0), self._vtime
+                )
+            heapq.heappush(lane, (-priority, next(self._seq), job_id))
+            self._tenant_of[job_id] = tenant
+            self._size += 1
             self._not_empty.notify()
 
     def pop(self, timeout: float | None = None) -> str | None:
-        """Dequeue the most urgent live job id.
+        """Dequeue the next live job id under the scheduling policy.
 
-        Blocks up to ``timeout`` seconds (forever when ``None``); returns
-        ``None`` on timeout or once the queue is closed and drained.
+        Blocks up to ``timeout`` seconds (forever when ``None``) while the
+        queue is empty *or* every non-empty lane is at its in-flight quota;
+        returns ``None`` on timeout or once the queue is closed and drained.
         """
+        # One deadline for the whole call: task_done's notify_all makes
+        # spurious wakeups routine, and restarting the wait each time would
+        # let a busy server block a finite-timeout pop indefinitely.
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_empty:
             while True:
-                while self._heap:
-                    _, _, job_id = heapq.heappop(self._heap)
-                    if job_id in self._discarded:
-                        self._discarded.remove(job_id)
-                        continue
+                job_id = self._select()
+                if job_id is not None:
                     return job_id
-                if self._closed:
+                if self._closed and not self._tenant_of:
                     return None
-                if not self._not_empty.wait(timeout):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                if not self._not_empty.wait(remaining):
                     return None
 
+    def task_done(self, tenant: str = "") -> None:
+        """Mark one popped job of ``tenant`` finished, freeing its quota slot."""
+        with self._not_empty:
+            count = self._inflight.get(tenant, 0)
+            if count > 0:
+                self._inflight[tenant] = count - 1
+            self._not_empty.notify_all()
+
     def discard(self, job_id: str) -> None:
-        """Mark a queued id so :meth:`pop` skips it (idempotent)."""
+        """Mark an id so :meth:`pop` skips it (O(1), idempotent).
+
+        The mark is set unconditionally; ids not currently queued simply
+        leave a stale mark (cleared if the id is ever pushed).
+        """
         with self._lock:
-            if any(jid == job_id for _, _, jid in self._heap):
-                self._discarded.add(job_id)
+            if job_id in self._discarded:
+                return
+            self._discarded.add(job_id)
+            if job_id in self._tenant_of:
+                self._size -= 1
 
     def close(self) -> None:
         """Stop accepting pushes and wake every blocked :meth:`pop`."""
@@ -75,4 +230,4 @@ class PriorityJobQueue:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._heap) - len(self._discarded)
+            return max(0, self._size)

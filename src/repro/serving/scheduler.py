@@ -23,7 +23,7 @@ import threading
 from repro.config.settings import TaskSpec, TrainingConfig
 from repro.graphs.csr import CSRGraph
 from repro.graphs.datasets import load_dataset
-from repro.runtime.parallel import ProfilingService
+from repro.runtime.parallel import CancellationToken, ProfilingService
 from repro.runtime.profiler import GroundTruthRecord
 
 __all__ = ["SharedProfilingService"]
@@ -57,11 +57,19 @@ class SharedProfilingService:
         *,
         graph: CSRGraph | None = None,
         progress: bool = False,
+        cancel: CancellationToken | None = None,
     ) -> list[GroundTruthRecord]:
         """Measure every candidate, sharing work with concurrent callers.
 
         Same contract as :meth:`ProfilingService.profile`: one record per
         input config, in input order, identical to the serial path.
+
+        ``cancel`` makes the call cooperatively cancellable: the token is
+        polled at every claim-round boundary, between candidate runs inside
+        the service, and while waiting on another job's in-flight keys.  A
+        cancelled caller always releases its claims (the ``_execute`` escape
+        hatch below fires on *any* exception), so waiters re-claim and
+        measure the abandoned keys themselves instead of hanging.
         """
         svc = self.service
         graph = graph if graph is not None else load_dataset(task.dataset)
@@ -76,6 +84,10 @@ class SharedProfilingService:
             remaining[key] = config.canonical()
 
         while remaining:
+            if cancel is not None:
+                # Claim-round boundary: nothing is claimed right here, so
+                # aborting cannot strand a key other jobs are waiting on.
+                cancel.raise_if_cancelled()
             mine: dict = {}
             waits: dict[object, threading.Event] = {}
             # Claim phase touches only in-process state — the lock is never
@@ -113,22 +125,30 @@ class SharedProfilingService:
 
             if mine:
                 try:
+                    # _execute commits each record the moment it lands
+                    # (memory + store; store writes lock internally), so
+                    # events only ever flip on published records — and an
+                    # aborted batch keeps every run it finished.
                     fresh = svc._execute(
-                        task, list(mine.values()), graph, progress=progress
+                        task,
+                        list(mine.values()),
+                        graph,
+                        progress=progress,
+                        cancel=cancel,
+                        keys=list(mine),
                     )
                 except BaseException:
-                    # Release the claims so waiters re-claim and re-measure
-                    # instead of hanging on a measurement that never landed.
+                    # Release the claims so waiters re-claim instead of
+                    # hanging — on a cancel, a worker crash, or a commit
+                    # that died mid-publish (store I/O).  Keys committed
+                    # before the abort are already in memory, so released
+                    # waiters pick them up; the rest re-measure.
                     with self._lock:
                         for key in mine:
                             event = self._inflight.pop(key, None)
                             if event is not None:
                                 event.set()
                     raise
-                for key, record in zip(mine, fresh):
-                    # memory + store write (store writes lock internally);
-                    # events only flip once the records are published.
-                    svc.commit(key, record)
                 with self._lock:
                     for key, record in zip(mine, fresh):
                         results[key] = record
@@ -136,8 +156,13 @@ class SharedProfilingService:
 
             for key, event in waits.items():
                 # Block outside the lock until the owning job lands (or
-                # abandons) this key.
-                event.wait()
+                # abandons) this key; a cancelled waiter holds no claims, so
+                # bailing out here strands nobody.
+                if cancel is None:
+                    event.wait()
+                else:
+                    while not event.wait(0.05):
+                        cancel.raise_if_cancelled()
                 with self._lock:
                     record = svc._memory.get(key)
                     if record is not None:

@@ -21,8 +21,9 @@ out to worker *processes*; job threads spend their time waiting on it), so
 from __future__ import annotations
 
 import threading
+import time
 
-from repro.errors import ServingError
+from repro.errors import JobCancelled, ServingError
 from repro.explorer.navigator import GNNavigator
 from repro.graphs.csr import CSRGraph
 from repro.graphs.datasets import load_dataset
@@ -56,7 +57,9 @@ class NavigationServer:
     graphs:
         Pre-registered graphs by dataset name, consulted before
         :func:`load_dataset` — lets tenants serve custom graphs and tests
-        serve fixtures.
+        serve fixtures.  Datasets loaded on demand are cached here too, so
+        every job for a dataset shares one graph object (and one
+        fingerprint memo in the profiling service).
     space:
         Server-wide design space every job explores (``None`` = the default
         space).  One space for all tenants is what makes their Step-2
@@ -65,6 +68,21 @@ class NavigationServer:
         Start worker threads immediately.  Pass ``False`` to stage
         submissions first (deterministic priority-ordering tests), then call
         :meth:`start`.
+    fairness:
+        Schedule the queue by weighted round-robin across tenants instead
+        of pure priority, so one burst-submitting tenant cannot starve the
+        rest; priority still orders jobs within a tenant's lane.
+    weights:
+        Fair-share weights by tenant name (default 1 each).
+    quotas:
+        Per-tenant ``max_inflight`` caps (tenant name -> concurrent jobs).
+    max_inflight:
+        Default in-flight cap for tenants without an explicit quota;
+        ``None`` = unlimited.
+    store_budget:
+        Entry budget for the persistent store: every save past it evicts
+        the least-recently-written entries (``stats.evictions`` counts
+        them).  ``None`` = unbounded.
     """
 
     def __init__(
@@ -76,17 +94,31 @@ class NavigationServer:
         graphs: dict[str, CSRGraph] | None = None,
         space=None,
         autostart: bool = True,
+        fairness: bool = False,
+        weights: dict[str, int] | None = None,
+        quotas: dict[str, int] | None = None,
+        max_inflight: int | None = None,
+        store_budget: int | None = None,
     ) -> None:
         if workers < 1:
             raise ServingError("a server needs at least one worker thread")
         self.workers = workers
         self.space = space
         self.service = ProfilingService(
-            max_workers=profile_workers, cache_dir=cache_dir
+            max_workers=profile_workers,
+            cache_dir=cache_dir,
+            store_budget=store_budget,
         )
         self.profiler = SharedProfilingService(self.service)
-        self.queue = PriorityJobQueue()
+        self._queue_config = {
+            "fairness": fairness,
+            "weights": weights,
+            "quotas": quotas,
+            "max_inflight": max_inflight,
+        }
+        self.queue = PriorityJobQueue(**self._queue_config)
         self._graphs = dict(graphs or {})
+        self._graph_lock = threading.Lock()
         self._lock = threading.Lock()
         self._terminal = threading.Condition(self._lock)
         self._jobs: dict[str, Job] = {}
@@ -108,7 +140,7 @@ class NavigationServer:
                 # stop() closed the previous queue to wake its workers; a
                 # restarted server needs a live one or submits would orphan
                 # PENDING jobs.
-                self.queue = PriorityJobQueue()
+                self.queue = PriorityJobQueue(**self._queue_config)
             self._threads = [
                 threading.Thread(
                     target=self._worker_loop,
@@ -124,6 +156,12 @@ class NavigationServer:
         """Drain nothing further: close the queue and join the workers.
 
         PENDING jobs still queued are cancelled; the running ones finish.
+        The ordering is what makes the drain deterministic: the queue is
+        closed *before* the workers are joined and the survivors flipped,
+        so no worker can still be mid-``pop`` (racing ``_stopping``) and no
+        late :meth:`submit` can slip a job past the flip — a closed queue
+        rejects the push and the submit path cancels the job itself.  After
+        ``stop()`` returns, no job is ever left PENDING.
         """
         with self._lock:
             self._stopping = True
@@ -134,7 +172,7 @@ class NavigationServer:
         with self._terminal:
             for job in self._jobs.values():
                 if job.status is JobStatus.PENDING:
-                    job.status = JobStatus.CANCELLED
+                    self._finish(job, JobStatus.CANCELLED)
             self._terminal.notify_all()
 
     def __enter__(self) -> "NavigationServer":
@@ -153,10 +191,24 @@ class NavigationServer:
             job_id = f"job-{self._next_id:04d}"
             self._next_id += 1
             job = Job(
-                job_id=job_id, request=request, submitted_seq=self._next_id
+                job_id=job_id,
+                request=request,
+                submitted_seq=self._next_id,
+                submitted_at=time.monotonic(),
             )
             self._jobs[job_id] = job
-        self.queue.push(job_id, request.priority)
+        try:
+            self.queue.push(job_id, request.priority, request.tenant)
+        except ServingError:
+            # stop() closed the queue between our admission check and the
+            # push: cancel the accepted job so it can never sit PENDING
+            # with no worker left to drain it.
+            with self._terminal:
+                if job.status is JobStatus.PENDING:
+                    self._finish(job, JobStatus.CANCELLED)
+            raise ServingError(
+                "server is stopping; submission rejected"
+            ) from None
         return job_id
 
     def submit_many(self, requests: list[NavigationRequest]) -> list[str]:
@@ -200,18 +252,25 @@ class NavigationServer:
         raise ServingError(f"{job_id} failed: {job.error}")
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a PENDING job; returns whether it was cancelled.
+        """Cancel a job; returns whether cancellation took (or was started).
 
-        RUNNING and finished jobs are not interrupted (``False``).
+        PENDING jobs drop out of the queue immediately.  RUNNING jobs are
+        cancelled *cooperatively*: their token is flipped and the job
+        observes it at the next profiling-batch boundary, releasing any
+        in-flight profiling claims so concurrent waiters re-claim the keys.
+        Best-effort by design — a RUNNING job past its last checkpoint
+        still finishes DONE.  Terminal jobs return ``False``.
         """
         job = self._get(job_id)
         with self._terminal:
-            if job.status is not JobStatus.PENDING:
-                return False
-            job.status = JobStatus.CANCELLED
-            self.queue.discard(job_id)
-            self._terminal.notify_all()
-            return True
+            if job.status is JobStatus.PENDING:
+                self._finish(job, JobStatus.CANCELLED)
+                self.queue.discard(job_id)
+                return True
+            if job.status is JobStatus.RUNNING:
+                job.cancel_token.cancel()
+                return True
+            return False
 
     def drain(self, timeout: float | None = None) -> list[Job]:
         """Block until every accepted job reaches a terminal state."""
@@ -233,42 +292,70 @@ class NavigationServer:
 
     # ---------------------------------------------------------------- workers
     def _resolve_graph(self, dataset: str) -> CSRGraph:
-        graph = self._graphs.get(dataset)
+        """Registered graph for ``dataset``, loading and memoizing on miss.
+
+        The synthetic zoo's :func:`load_dataset` happens to memoize named
+        datasets process-wide, but that is its implementation detail, not a
+        contract — caching the loaded graph back into ``self._graphs``
+        makes the one-object-per-dataset invariant the *server's* own
+        (request aliases included), which the profiling service's
+        identity-memoized fingerprints rely on.  ``setdefault`` under the
+        lock makes the first loader win a load race; the loser's copy is
+        dropped.
+        """
+        with self._graph_lock:
+            graph = self._graphs.get(dataset)
         if graph is not None:
             return graph
-        return load_dataset(dataset)
+        graph = load_dataset(dataset)
+        with self._graph_lock:
+            return self._graphs.setdefault(dataset, graph)
+
+    def _finish(self, job: Job, status: JobStatus) -> None:
+        """Move a job to a terminal state and wake the waiters (lock held)."""
+        job.status = status
+        job.finished_at = time.monotonic()
+        self._terminal.notify_all()
 
     def _worker_loop(self) -> None:
         while True:
             job_id = self.queue.pop()
             if job_id is None:
                 return
-            with self._terminal:
-                job = self._jobs[job_id]
-                if job.status is not JobStatus.PENDING:
-                    continue  # cancelled while queued
-                if self._stopping:
-                    job.status = JobStatus.CANCELLED
-                    self._terminal.notify_all()
-                    continue
-                job.status = JobStatus.RUNNING
-                job.started_seq = self._started_seq
-                self._started_seq += 1
+            job = self._jobs[job_id]
             try:
-                result = self._run(job.request)
-            except Exception as exc:  # noqa: BLE001 — jobs fail, servers don't
                 with self._terminal:
-                    job.status = JobStatus.FAILED
-                    job.error = f"{type(exc).__name__}: {exc}"
-                    self._terminal.notify_all()
-            else:
-                with self._terminal:
-                    job.status = JobStatus.DONE
-                    job.result = result
-                    self._terminal.notify_all()
+                    if job.status is not JobStatus.PENDING:
+                        continue  # cancelled while queued
+                    if self._stopping:
+                        self._finish(job, JobStatus.CANCELLED)
+                        continue
+                    job.status = JobStatus.RUNNING
+                    job.started_seq = self._started_seq
+                    job.started_at = time.monotonic()
+                    self._started_seq += 1
+                try:
+                    result = self._run(job)
+                except JobCancelled:
+                    with self._terminal:
+                        self._finish(job, JobStatus.CANCELLED)
+                except Exception as exc:  # noqa: BLE001 — jobs fail, servers don't
+                    with self._terminal:
+                        job.error = f"{type(exc).__name__}: {exc}"
+                        self._finish(job, JobStatus.FAILED)
+                else:
+                    with self._terminal:
+                        job.result = result
+                        self._finish(job, JobStatus.DONE)
+            finally:
+                # Every pop owes the queue exactly one release — including
+                # the cancelled-while-queued and stop paths above — or the
+                # tenant's in-flight quota slot leaks.
+                self.queue.task_done(job.request.tenant)
 
-    def _run(self, request: NavigationRequest) -> JobResult:
+    def _run(self, job: Job) -> JobResult:
         """Execute one navigation with profiling delegated to the scheduler."""
+        request = job.request
         navigator = GNNavigator(
             request.task,
             space=self.space,
@@ -277,6 +364,7 @@ class NavigationServer:
             profile_epochs=request.profile_epochs,
             seed=request.seed,
             profiler=self.profiler,
+            cancel=job.cancel_token,
         )
         report = navigator.explore(
             constraint=request.constraint,

@@ -1,12 +1,15 @@
 """Request/job vocabulary of the navigation serving layer.
 
 A :class:`NavigationRequest` is what a client hands the server: the
-pre-determined task, the exploration objectives, the Step-2 profiling budget
-and a queue priority.  The server wraps each accepted request in a
-:class:`Job` that walks the lifecycle
+pre-determined task, the exploration objectives, the Step-2 profiling budget,
+a queue priority and the tenant it belongs to (the fair-share scheduling
+lane).  The server wraps each accepted request in a :class:`Job` that walks
+the lifecycle
 
     PENDING -> RUNNING -> DONE | FAILED
-    PENDING -> CANCELLED
+    PENDING -> CANCELLED            (dropped from the queue, never ran)
+    RUNNING -> CANCELLED            (cooperative, at a profiling-batch
+                                     boundary via the job's token)
 
 and, on success, carries a :class:`JobResult` (the chosen guidelines plus
 the exploration report, and the measured training run when the request asked
@@ -25,6 +28,7 @@ from repro.explorer.constraints import RuntimeConstraint
 from repro.explorer.decision import Guideline
 from repro.explorer.navigator import NavigatorReport
 from repro.explorer.objectives import PRIORITY_PRESETS
+from repro.runtime.parallel import CancellationToken
 from repro.runtime.report import PerfReport
 
 __all__ = ["JobStatus", "NavigationRequest", "JobResult", "Job", "TERMINAL_STATES"]
@@ -52,8 +56,10 @@ class NavigationRequest:
 
     ``priority`` orders the server queue (higher runs first);
     ``priorities`` are the exploration objectives (paper Table 1 modes).
-    ``train`` additionally executes the chosen guideline on the backend
-    (Step 3) and attaches the measured :class:`PerfReport`.
+    ``tenant`` names the fair-share scheduling lane the request rides (and
+    the quota bucket it counts against); the empty string is the shared
+    anonymous lane.  ``train`` additionally executes the chosen guideline
+    on the backend (Step 3) and attaches the measured :class:`PerfReport`.
     """
 
     task: TaskSpec
@@ -65,6 +71,7 @@ class NavigationRequest:
     constraint: RuntimeConstraint | None = None
     train: bool = False
     tag: str = ""
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if self.budget < 8:
@@ -95,6 +102,7 @@ class NavigationRequest:
             "priority": self.priority,
             "train": self.train,
             "tag": self.tag,
+            "tenant": self.tenant,
         }
         if self.constraint is not None:
             if self.constraint.max_time_s is not None:
@@ -123,6 +131,7 @@ class NavigationRequest:
             "priority",
             "train",
             "tag",
+            "tenant",
             "max_time_ms",
             "max_memory_mib",
             "min_accuracy",
@@ -163,6 +172,7 @@ class NavigationRequest:
             constraint=constraint,
             train=spec.get("train", False),
             tag=spec.get("tag", ""),
+            tenant=spec.get("tenant", ""),
         )
 
 
@@ -190,6 +200,17 @@ class Job:
     error: str | None = None
     submitted_seq: int = 0  # monotonic submission order (FIFO tiebreak)
     started_seq: int | None = None  # monotonic start order (None = never ran)
+    #: cooperative cancellation flag; ``cancel()`` on a RUNNING job flips it
+    #: and the job observes it at the next profiling-batch boundary.
+    cancel_token: CancellationToken = field(
+        default_factory=CancellationToken, repr=False, compare=False
+    )
+    # monotonic-clock timestamps (None until the event happens): completion
+    # latency is finished_at - submitted_at, service time is
+    # finished_at - started_at.  The fairness bench reads these.
+    submitted_at: float | None = field(default=None, compare=False)
+    started_at: float | None = field(default=None, compare=False)
+    finished_at: float | None = field(default=None, compare=False)
 
     @property
     def done(self) -> bool:
