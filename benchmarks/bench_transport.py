@@ -1,0 +1,180 @@
+"""Transport overhead — HTTP serving vs in-process, and per-call latency.
+
+Two questions the network transport must answer before it earns its place:
+
+1. **Throughput**: for profiling-bound navigation jobs (the serving
+   layer's actual workload), multiple tenants submitting over HTTP must
+   land within 2x of the same tenants calling the server in-process —
+   i.e. the socket may tax the *polls*, not the *work*.
+2. **Per-call overhead**: one status snapshot over HTTP costs a full
+   request/response round trip; the bench reports the per-call price next
+   to the in-process lookup so regressions in the handler path show up as
+   a number, not a feeling.
+
+Both sides run cold stores of their own (no cross-talk), the same worker
+counts, and the same overlapping design-space fold, so the only variable
+is the transport.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.config.settings import TaskSpec, TrainingConfig
+from repro.config.space import DesignSpace
+from repro.graphs.generators import powerlaw_community_graph
+from repro.serving import NavigationClient, NavigationServer
+from repro.serving.transport import NavigationHTTPServer, RemoteNavigationClient
+
+NUM_TENANTS = 3
+BUDGET = 8
+PRIORITIES = ["balance", "ex_tm", "ex_ma"]
+STATUS_CALLS = 200
+
+#: compact shared space: every tenant samples the same fold, so the jobs
+#: are dominated by (shared) Step-2 profiling — the regime the 2x bound
+#: is about.
+SPACE = DesignSpace(
+    {
+        "batch_size": (32, 64, 128),
+        "hop_list": ((3, 2), (5, 3)),
+        "cache_ratio": (0.0, 0.25),
+        "hidden_channels": (16, 32),
+    },
+    base=TrainingConfig(),
+)
+
+
+def _workload():
+    graph = powerlaw_community_graph(
+        900,
+        num_classes=5,
+        feature_dim=16,
+        min_degree=3,
+        max_degree=60,
+        homophily=0.8,
+        feature_noise=0.8,
+        seed=42,
+        name="bench-transport",
+    )
+    task = TaskSpec(dataset="bench-transport", arch="sage", epochs=1, lr=0.02)
+    return graph, task
+
+
+def _server(graph, task, cache_dir):
+    return NavigationServer(
+        workers=2,
+        cache_dir=str(cache_dir),
+        graphs={task.dataset: graph},
+        space=SPACE,
+    )
+
+
+def _navigate_all(make_client, task):
+    """One thread per tenant, each driving its own client to completion."""
+    results: list = [None] * NUM_TENANTS
+    errors: list = []
+
+    def run(slot: int) -> None:
+        try:
+            client = make_client(slot)
+            results[slot] = client.navigate(
+                task,
+                priorities=(PRIORITIES[slot],),
+                budget=BUDGET,
+                profile_epochs=2,
+                timeout=600,
+            )
+        except Exception as exc:  # pragma: no cover — surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(NUM_TENANTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    return results
+
+
+def test_remote_throughput_within_2x_of_inprocess(run_once, emit, tmp_path):
+    graph, task = _workload()
+
+    # -- in-process baseline: same fan-out, clients share the process
+    server = _server(graph, task, tmp_path / "inprocess")
+
+    def inprocess():
+        return _navigate_all(
+            lambda slot: NavigationClient(server, tenant=f"tenant-{slot}"),
+            task,
+        )
+
+    t0 = time.perf_counter()
+    local_results = run_once(inprocess)
+    t_local = time.perf_counter() - t0
+    local_executed = server.stats.executed
+    server.stop()
+
+    # -- remote: identical server behind the HTTP transport, cold store
+    server = _server(graph, task, tmp_path / "remote")
+    with NavigationHTTPServer(server) as http:
+        t0 = time.perf_counter()
+        remote_results = _navigate_all(
+            lambda slot: RemoteNavigationClient(
+                http.url, tenant=f"tenant-{slot}"
+            ),
+            task,
+        )
+        t_remote = time.perf_counter() - t0
+
+        # -- per-call overhead: status snapshot, HTTP vs in-process
+        handle = RemoteNavigationClient(http.url).submit(
+            task, priorities=("balance",), budget=BUDGET, profile_epochs=2
+        )
+        handle.result(timeout=600)
+        t0 = time.perf_counter()
+        for _ in range(STATUS_CALLS):
+            handle.status  # noqa: B018 — the property does the round trip
+        http_call_s = (time.perf_counter() - t0) / STATUS_CALLS
+        job_id = handle.job_id
+        t0 = time.perf_counter()
+        for _ in range(STATUS_CALLS):
+            server.snapshot(job_id)
+        local_call_s = (time.perf_counter() - t0) / STATUS_CALLS
+    remote_executed = server.stats.executed
+    server.stop()
+
+    ratio = t_remote / t_local
+    emit()
+    emit(
+        f"{NUM_TENANTS} tenants, budget {BUDGET}: in-process {t_local:.2f}s, "
+        f"HTTP {t_remote:.2f}s -> {ratio:.2f}x "
+        f"({NUM_TENANTS / t_remote:.2f} jobs/sec remote)"
+    )
+    emit(
+        f"status call: {local_call_s * 1e6:.0f}us in-process vs "
+        f"{http_call_s * 1e6:.0f}us over HTTP "
+        f"({http_call_s / max(local_call_s, 1e-9):.0f}x per poll — "
+        f"amortized invisible behind profiling-bound jobs)"
+    )
+
+    # both transports did the same (shared) profiling work
+    assert local_executed == remote_executed
+    for local, remote, priority in zip(
+        local_results, remote_results, PRIORITIES
+    ):
+        assert set(local.guidelines) == set(remote.guidelines) == {priority}
+        # identical fold both sides: the transport changes nothing semantic
+        assert (
+            remote.report.num_ground_truth == local.report.num_ground_truth
+        )
+    # the acceptance bound: HTTP within 2x of in-process for real jobs
+    assert ratio <= 2.0, (
+        f"HTTP transport cost {ratio:.2f}x over in-process "
+        f"(local {t_local:.2f}s vs remote {t_remote:.2f}s)"
+    )
+    # a single long-poll round trip stays interactive
+    assert http_call_s < 0.05, f"status round trip took {http_call_s * 1e3:.1f}ms"

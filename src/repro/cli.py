@@ -3,7 +3,12 @@
 Commands
 --------
 ``navigate``   run GNNavigator end to end on a task and print guidelines
-``serve``      run a local navigation server over a job file of requests
+``serve``      serve navigation requests: batch mode over a job file, or
+               network mode (``--port``) exposing the HTTP transport
+``submit``     submit request(s) to a remote ``repro serve --port`` server
+``poll``       poll/await remote jobs by id
+``cancel``     cancel remote jobs by id
+``stats``      print a remote server's profiling/store/job counters
 ``templates``  run the baseline system templates on a task
 ``datasets``   list the synthetic dataset zoo with statistics
 """
@@ -73,15 +78,31 @@ def build_parser() -> argparse.ArgumentParser:
     nav.add_argument("--min-accuracy", type=float, default=None)
 
     serve = sub.add_parser(
-        "serve", help="serve a batch of navigation requests from a job file"
+        "serve",
+        help="serve navigation requests: a job-file batch, or --port for "
+        "a long-lived HTTP server remote clients submit to",
     )
     serve.add_argument(
         "--jobs",
-        required=True,
+        default=None,
         metavar="FILE",
         help="JSON job file: a list of request specs "
         '(e.g. [{"dataset": "reddit2", "priorities": ["balance"]}]); '
-        "'-' reads the specs from stdin",
+        "'-' reads the specs from stdin.  Required without --port; with "
+        "--port the specs are pre-submitted before serving",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port mode (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the HTTP transport on this port until interrupted "
+        "(0 picks a free port); without it, run the job file and exit",
     )
     serve.add_argument(
         "--serve-workers",
@@ -128,6 +149,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict least-recently-written store entries past N "
         "(default: unbounded)",
     )
+    serve.add_argument(
+        "--store-budget-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="evict least-recently-written store entries past BYTES on "
+        "disk (default: unbounded; combines with --store-budget)",
+    )
+
+    def add_remote(sub_parser):
+        sub_parser.add_argument(
+            "--server",
+            required=True,
+            metavar="URL",
+            help="base URL of a `repro serve --port` server "
+            "(e.g. http://127.0.0.1:8765)",
+        )
+        sub_parser.add_argument(
+            "--tenant",
+            default="",
+            help="fair-share lane / quota bucket for this client",
+        )
+        return sub_parser
+
+    submit = add_remote(
+        sub.add_parser(
+            "submit", help="submit navigation request(s) to a remote server"
+        )
+    )
+    submit.add_argument(
+        "--jobs",
+        default=None,
+        metavar="FILE",
+        help="JSON job file of request specs ('-' = stdin); without it, "
+        "one request is built from the task flags below",
+    )
+    submit.add_argument("--dataset", default="reddit2")
+    submit.add_argument("--arch", default="sage", choices=["gcn", "sage", "gat"])
+    submit.add_argument("--platform", default="rtx4090")
+    submit.add_argument("--epochs", type=int, default=6)
+    submit.add_argument(
+        "--priority",
+        default="balance",
+        choices=["balance", "ex_tm", "ex_ma", "ex_ta"],
+        help="exploration objective",
+    )
+    submit.add_argument("--budget", type=int, default=16)
+    submit.add_argument(
+        "--profile-epochs", type=int, default=2, help="epochs per profiling run"
+    )
+    submit.add_argument(
+        "--queue-priority",
+        type=int,
+        default=0,
+        help="server queue priority (higher runs first)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block for every submitted job's result before exiting",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="with --wait: seconds to wait per job (default: forever)",
+    )
+
+    poll = add_remote(
+        sub.add_parser("poll", help="poll/await remote jobs by id")
+    )
+    poll.add_argument("job_ids", nargs="+", metavar="JOB_ID")
+    poll.add_argument(
+        "--wait",
+        action="store_true",
+        help="block for each job's result instead of printing its status",
+    )
+    poll.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="with --wait: seconds to wait per job (default: forever)",
+    )
+
+    cancel = add_remote(
+        sub.add_parser("cancel", help="cancel remote jobs by id")
+    )
+    cancel.add_argument("job_ids", nargs="+", metavar="JOB_ID")
+
+    add_remote(
+        sub.add_parser(
+            "stats", help="print a remote server's profiling/store counters"
+        )
+    )
 
     tmpl = sub.add_parser("templates", help="run the baseline templates")
     tmpl.add_argument("--dataset", default="reddit2")
@@ -172,18 +287,30 @@ def _cmd_navigate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serving import NavigationRequest, NavigationServer
-
-    text = sys.stdin.read() if args.jobs == "-" else open(args.jobs).read()
+def _read_specs(jobs: str) -> list[dict]:
+    text = sys.stdin.read() if jobs == "-" else open(jobs).read()
     specs = json.loads(text)
     if not isinstance(specs, list):
         raise ServingError("job file must hold a JSON list of request specs")
-    requests = [NavigationRequest.from_dict(spec) for spec in specs]
+    return specs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import NavigationRequest, NavigationServer
+
+    if args.jobs is None and args.port is None:
+        raise ServingError("serve needs --jobs (batch mode), --port, or both")
+    requests = []
+    if args.jobs is not None:
+        requests = [
+            NavigationRequest.from_dict(spec) for spec in _read_specs(args.jobs)
+        ]
 
     cache_dir = None
     if not args.no_store:
         cache_dir = args.cache_dir or str(default_store_dir())
+    if args.port is not None:
+        return _serve_network(args, requests, cache_dir)
     with NavigationServer(
         workers=args.serve_workers,
         profile_workers=args.workers,
@@ -191,6 +318,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fairness=args.fair,
         max_inflight=args.max_inflight_per_tenant,
         store_budget=args.store_budget,
+        store_budget_bytes=args.store_budget_bytes,
     ) as server:
         job_ids = server.submit_many(requests)
         print(
@@ -230,6 +358,160 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats.deduplicated} deduplicated, {stats.evictions} evicted"
     )
     return 0 if all(j.status.value == "done" for j in jobs) else 1
+
+
+def _serve_network(
+    args: argparse.Namespace, requests: list, cache_dir: str | None
+) -> int:
+    """``repro serve --port``: expose the HTTP transport until interrupted."""
+    from repro.serving import NavigationServer
+    from repro.serving.transport import NavigationHTTPServer
+
+    with NavigationServer(
+        workers=args.serve_workers,
+        profile_workers=args.workers,
+        cache_dir=cache_dir,
+        fairness=args.fair,
+        max_inflight=args.max_inflight_per_tenant,
+        store_budget=args.store_budget,
+        store_budget_bytes=args.store_budget_bytes,
+    ) as server:
+        if requests:
+            job_ids = server.submit_many(requests)
+            print(f"pre-submitted {len(job_ids)} request(s) from the job file")
+        transport = NavigationHTTPServer(
+            server, host=args.host, port=args.port
+        )
+        print(
+            f"serving on {transport.url} "
+            f"({args.serve_workers} worker(s), "
+            f"store: {cache_dir or 'in-memory'})",
+            flush=True,
+        )
+        try:
+            transport.serve_forever()
+        except KeyboardInterrupt:
+            print("interrupted; draining running jobs...", flush=True)
+        finally:
+            transport.stop()
+    stats = server.stats
+    print(
+        f"profiling: {stats.executed} runs, {stats.cache_hits} cache hits, "
+        f"{stats.shared_inflight} shared in-flight, "
+        f"{stats.deduplicated} deduplicated, {stats.evictions} evicted"
+    )
+    return 0
+
+
+def _remote_client(args: argparse.Namespace):
+    from repro.serving.transport import RemoteNavigationClient
+
+    return RemoteNavigationClient(args.server, tenant=args.tenant)
+
+
+def _print_outcome(client, job_id: str, timeout: float | None) -> bool:
+    """Wait for one remote job; print its outcome; True when it succeeded."""
+    from repro.errors import JobFailedError
+
+    try:
+        result = client.result(job_id, timeout)
+    except JobFailedError as exc:
+        print(f"{job_id} [failed] {exc.message}")
+        if exc.traceback:
+            print(exc.traceback.rstrip())
+        return False
+    except ServingError as exc:
+        print(f"{job_id} [{exc}]")
+        return False
+    print(f"{job_id} [done] {result.best().describe()}")
+    return True
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _remote_client(args)
+    if args.jobs is not None:
+        specs = _read_specs(args.jobs)
+        from repro.serving import NavigationRequest
+
+        handles = client.submit_many(
+            [NavigationRequest.from_dict(spec) for spec in specs]
+        )
+    else:
+        from repro.config import TaskSpec as _TaskSpec
+
+        task = _TaskSpec(
+            dataset=args.dataset,
+            arch=args.arch,
+            platform=args.platform,
+            epochs=args.epochs,
+        )
+        handles = [
+            client.submit(
+                task,
+                priorities=(args.priority,),
+                budget=args.budget,
+                profile_epochs=args.profile_epochs,
+                priority=args.queue_priority,
+            )
+        ]
+    for handle in handles:
+        print(f"submitted {handle.job_id}")
+    if not args.wait:
+        return 0
+    ok = [_print_outcome(client, h.job_id, args.timeout) for h in handles]
+    return 0 if all(ok) else 1
+
+
+def _cmd_poll(args: argparse.Namespace) -> int:
+    client = _remote_client(args)
+    if args.wait:
+        ok = [
+            _print_outcome(client, job_id, args.timeout)
+            for job_id in args.job_ids
+        ]
+        return 0 if all(ok) else 1
+    code = 0
+    for job_id in args.job_ids:
+        snapshot = client.snapshot(job_id)
+        line = f"{job_id} [{snapshot.status.value}]"
+        if snapshot.error:
+            line += f" {snapshot.error}"
+            code = 1
+        print(line)
+    return code
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    client = _remote_client(args)
+    for job_id in args.job_ids:
+        taken = client.cancel(job_id)
+        print(f"{job_id} {'cancelled' if taken else 'not cancellable'}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = _remote_client(args).stats()
+    p = stats.profiling
+    print(
+        f"profiling: {p['executed']} runs, {p['cache_hits']} cache hits, "
+        f"{p['shared_inflight']} shared in-flight, "
+        f"{p['deduplicated']} deduplicated, {p['evictions']} evicted"
+    )
+    s = stats.store
+    if s.get("persistent"):
+        print(
+            f"store: {s['entries']} entries, {s['bytes']} bytes, "
+            f"{s['pinned']} pinned"
+        )
+    else:
+        print("store: in-memory only")
+    census = ", ".join(
+        f"{count} {status}"
+        for status, count in sorted(stats.jobs.items())
+        if status != "total"
+    )
+    print(f"jobs: {stats.jobs.get('total', 0)} total" + (f" ({census})" if census else ""))
+    return 0
 
 
 def _cmd_templates(args: argparse.Namespace) -> int:
@@ -287,6 +569,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_navigate(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "poll":
+        return _cmd_poll(args)
+    if args.command == "cancel":
+        return _cmd_cancel(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "templates":
         return _cmd_templates(args)
     return _cmd_datasets()

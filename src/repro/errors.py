@@ -40,6 +40,53 @@ class ServingError(ReproError):
     """The navigation serving layer was misused or a served job failed."""
 
 
+class ServerStoppingError(ServingError):
+    """A submission was rejected because the server is shutting down.
+
+    A :class:`ServingError` subclass so existing ``except ServingError``
+    callers keep working; the transport maps it to HTTP 503.
+    """
+
+
+class UnknownJobError(ServingError):
+    """A job id was polled that the server never issued (or has forgotten).
+
+    A :class:`ServingError` subclass so existing ``except ServingError``
+    callers keep working; the transport maps it to HTTP 404.
+    """
+
+
+class JobFailedError(ServingError):
+    """A served navigation job reached FAILED.
+
+    Raised by ``result()`` on both the in-process :class:`JobHandle` and the
+    remote client, so callers branch on the type instead of string-matching
+    ``JobResult.error``.  ``job_id`` names the job; ``traceback`` carries the
+    server-side traceback text when the server captured one (it crosses the
+    wire inside the transport error envelope).
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        message: str,
+        traceback: str | None = None,
+    ) -> None:
+        super().__init__(f"{job_id} failed: {message}")
+        self.job_id = job_id
+        self.message = message
+        self.traceback = traceback
+
+
+class ProtocolError(ServingError):
+    """A transport message violated the serving wire protocol.
+
+    Covers malformed JSON bodies, missing required fields and protocol
+    version mismatches — errors of the *envelope*, as opposed to
+    :class:`ServingError`s raised by the navigation server behind it.
+    """
+
+
 class JobCancelled(ReproError):
     """A cooperatively-cancelled job observed its cancellation token.
 

@@ -188,18 +188,39 @@ class ResultStore:
     Writes are atomic (tmp file + rename) so a crashed run never leaves a
     half-written entry; reads treat anything unparsable or version-skewed as
     a miss and delete the offending file.  One instance may be shared by
-    many threads (the serving layer does); the entry count is maintained
-    incrementally, so ``len(store)`` is O(1) rather than a directory re-glob
-    per call.  The count reflects this instance's view — a concurrent
-    *process* writing the same directory is only picked up by
-    :meth:`refresh`.
+    many threads (the serving layer does); the entry count and on-disk byte
+    total are maintained incrementally, so ``len(store)`` and :attr:`nbytes`
+    are O(1) rather than a directory re-glob per call.  Both reflect this
+    instance's view — a concurrent *process* writing the same directory is
+    only picked up by :meth:`refresh`.
+
+    :meth:`pin` marks entries that eviction (:meth:`prune` /
+    :meth:`prune_bytes`) must skip — the escape hatch that keeps a hot
+    task's ground truth resident under a tight budget.  Pins are
+    per-instance, in-memory state, not persisted.
     """
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._count = sum(1 for _ in self.root.glob("gt_*.json"))
+        self._pinned: set[str] = set()
+        self._count = 0
+        self._bytes = 0
+        self._recount()
+
+    def _recount(self) -> None:
+        """Re-scan the directory into the count/byte counters (callers hold
+        the lock, or are ``__init__`` before the store is shared)."""
+        count = total = 0
+        for path in self.root.glob("gt_*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # deleted under us: skip both counters
+            count += 1
+        self._count = count
+        self._bytes = total
 
     def _path(self, key: str) -> Path:
         return self.root / f"gt_{key}.json"
@@ -235,36 +256,66 @@ class ResultStore:
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(envelope, f)
+        new_size = tmp.stat().st_size
         with self._lock:
-            fresh = not path.exists()
+            try:
+                old_size = path.stat().st_size
+            except OSError:
+                old_size = None
             os.replace(tmp, path)
-            if fresh:
+            if old_size is None:
                 self._count += 1
+                self._bytes += new_size
+            else:
+                self._bytes += new_size - old_size
 
     def _discard(self, path: Path) -> bool:
         """Delete one entry; ``True`` only if *this* caller removed it."""
         with self._lock:
             try:
+                size = path.stat().st_size
                 path.unlink()
             except OSError:
                 return False
             self._count -= 1
+            self._bytes -= size
             return True
 
     def keys(self) -> list[str]:
         """Candidate keys of every stored entry (sorted, point-in-time)."""
         return sorted(p.stem[len("gt_") :] for p in self.root.glob("gt_*.json"))
 
-    def prune(self, max_entries: int) -> int:
-        """Evict oldest entries (by mtime) down to ``max_entries``; returns
-        how many *this caller* removed.  Entries a concurrent pruner deleted
-        under us are not double-counted (they were its removals)."""
-        if max_entries < 0:
-            raise ValueError("max_entries must be non-negative")
-        paths = list(self.root.glob("gt_*.json"))
-        excess = len(paths) - max_entries
-        if excess <= 0:
-            return 0
+    # ------------------------------------------------------------------ pins
+    def pin(self, key: str) -> None:
+        """Exempt one candidate key from eviction (idempotent).
+
+        Pinning does not require the entry to exist yet — a server can pin
+        a hot task's keys up front and let the measurements land later.
+        """
+        with self._lock:
+            self._pinned.add(key)
+
+    def unpin(self, key: str) -> None:
+        """Drop an eviction exemption (idempotent)."""
+        with self._lock:
+            self._pinned.discard(key)
+
+    @property
+    def pinned(self) -> frozenset[str]:
+        """Keys currently exempt from eviction (point-in-time copy)."""
+        with self._lock:
+            return frozenset(self._pinned)
+
+    # -------------------------------------------------------------- eviction
+    def _evictable(self) -> list[Path]:
+        """Unpinned entry paths, oldest (by mtime) first."""
+        with self._lock:
+            pinned = set(self._pinned)
+        paths = [
+            p
+            for p in self.root.glob("gt_*.json")
+            if p.stem[len("gt_") :] not in pinned
+        ]
 
         def _mtime(p: Path) -> float:
             try:
@@ -272,8 +323,34 @@ class ResultStore:
             except OSError:
                 return 0.0
 
+        return sorted(paths, key=_mtime)
+
+    def prune(self, max_entries: int) -> int:
+        """Evict oldest unpinned entries (by mtime) down to ``max_entries``;
+        returns how many *this caller* removed.  Entries a concurrent pruner
+        deleted under us are not double-counted (they were its removals).
+        Pinned entries are never touched, so a store may stay over budget
+        when pins alone exceed it."""
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        excess = len(self) - max_entries
+        if excess <= 0:
+            return 0
         removed = 0
-        for path in sorted(paths, key=_mtime)[:excess]:
+        for path in self._evictable()[:excess]:
+            if self._discard(path):
+                removed += 1
+        return removed
+
+    def prune_bytes(self, max_bytes: int) -> int:
+        """Evict oldest unpinned entries until at most ``max_bytes`` remain
+        on disk; returns how many entries *this caller* removed."""
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        removed = 0
+        for path in self._evictable():
+            if self.nbytes <= max_bytes:
+                break
             if self._discard(path):
                 removed += 1
         return removed
@@ -281,8 +358,13 @@ class ResultStore:
     def refresh(self) -> int:
         """Re-count entries on disk (after another process wrote the dir)."""
         with self._lock:
-            self._count = sum(1 for _ in self.root.glob("gt_*.json"))
+            self._recount()
             return self._count
+
+    @property
+    def nbytes(self) -> int:
+        """On-disk bytes of every stored entry (this instance's view)."""
+        return self._bytes
 
     def __len__(self) -> int:
         return self._count
@@ -365,6 +447,12 @@ class ProfilingService:
         in ``stats.evictions``) down to ~90% of the budget — the slack
         amortizes the prune scan across commits; ``None`` = unbounded.
         The in-memory layer is unaffected, so hot records stay served.
+    store_budget_bytes:
+        Maximum *on-disk bytes* the persistent store may hold — the budget
+        that tracks what actually fills a disk when record sizes vary.
+        Same eviction policy and hysteresis as ``store_budget``; both
+        budgets may be active at once (either tripping prunes).  Entries
+        pinned via :meth:`ResultStore.pin` are never evicted by either.
     """
 
     def __init__(
@@ -373,13 +461,17 @@ class ProfilingService:
         max_workers: int | None = None,
         cache_dir: str | os.PathLike | None = None,
         store_budget: int | None = None,
+        store_budget_bytes: int | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 0:
             raise ValueError("max_workers must be non-negative")
         if store_budget is not None and store_budget < 1:
             raise ValueError("store_budget must be at least 1")
+        if store_budget_bytes is not None and store_budget_bytes < 1:
+            raise ValueError("store_budget_bytes must be at least 1")
         self.max_workers = max_workers
         self.store_budget = store_budget
+        self.store_budget_bytes = store_budget_bytes
         self.store = ResultStore(cache_dir) if cache_dir is not None else None
         self.stats = ProfilingStats()
         self._memory: dict = {}
@@ -452,6 +544,17 @@ class ProfilingService:
                 # slack rounds to zero).
                 target = self.store_budget - self.store_budget // 10
                 removed = self.store.prune(target)
+                if removed:
+                    self.stats.bump("evictions", removed)
+            if (
+                self.store_budget_bytes is not None
+                and self.store.nbytes > self.store_budget_bytes
+            ):
+                # Same hysteresis, in bytes.
+                target = (
+                    self.store_budget_bytes - self.store_budget_bytes // 10
+                )
+                removed = self.store.prune_bytes(target)
                 if removed:
                     self.stats.bump("evictions", removed)
 

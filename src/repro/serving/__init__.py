@@ -15,6 +15,7 @@ from repro.serving.server import NavigationServer
 from repro.serving.types import (
     Job,
     JobResult,
+    JobSnapshot,
     JobStatus,
     NavigationRequest,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "Job",
     "JobHandle",
     "JobResult",
+    "JobSnapshot",
     "JobStatus",
     "NavigationClient",
     "NavigationRequest",
@@ -30,3 +32,7 @@ __all__ = [
     "PriorityJobQueue",
     "SharedProfilingService",
 ]
+
+# The network transport (repro.serving.transport) is imported lazily by its
+# users — keeping it out of this namespace keeps `import repro.serving`
+# socket-free for the in-process path.

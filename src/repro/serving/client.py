@@ -11,27 +11,44 @@ from __future__ import annotations
 
 from repro.config.settings import TaskSpec
 from repro.serving.server import NavigationServer
-from repro.serving.types import JobResult, JobStatus, NavigationRequest
+from repro.serving.types import (
+    JobResult,
+    JobSnapshot,
+    JobStatus,
+    NavigationRequest,
+)
 
 __all__ = ["JobHandle", "NavigationClient"]
 
 
 class JobHandle:
-    """One submitted job: poll ``status``, block on ``result``, ``cancel``."""
+    """One submitted job: poll ``status``, block on ``result``, ``cancel``.
+
+    ``status`` and ``done`` both derive from one :meth:`snapshot` call — a
+    single consistent registry read under the server lock — instead of
+    separate lookups that could interleave with the job's own terminal
+    transition.
+    """
 
     def __init__(self, server: NavigationServer, job_id: str) -> None:
         self.server = server
         self.job_id = job_id
 
+    def snapshot(self) -> JobSnapshot:
+        """Consistent point-in-time view of the job's observable state."""
+        return self.server.snapshot(self.job_id)
+
     @property
     def status(self) -> JobStatus:
-        return self.server.status(self.job_id)
+        return self.snapshot().status
 
     @property
     def done(self) -> bool:
-        return self.server.job(self.job_id).done
+        return self.snapshot().done
 
     def result(self, timeout: float | None = None) -> JobResult:
+        """Block for the result; raises
+        :class:`~repro.errors.JobFailedError` on FAILED jobs."""
         return self.server.result(self.job_id, timeout)
 
     def cancel(self) -> bool:

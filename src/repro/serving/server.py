@@ -22,8 +22,15 @@ from __future__ import annotations
 
 import threading
 import time
+import traceback as traceback_mod
 
-from repro.errors import JobCancelled, ServingError
+from repro.errors import (
+    JobCancelled,
+    JobFailedError,
+    ServerStoppingError,
+    ServingError,
+    UnknownJobError,
+)
 from repro.explorer.navigator import GNNavigator
 from repro.graphs.csr import CSRGraph
 from repro.graphs.datasets import load_dataset
@@ -33,6 +40,7 @@ from repro.serving.scheduler import SharedProfilingService
 from repro.serving.types import (
     Job,
     JobResult,
+    JobSnapshot,
     JobStatus,
     NavigationRequest,
 )
@@ -83,6 +91,10 @@ class NavigationServer:
         Entry budget for the persistent store: every save past it evicts
         the least-recently-written entries (``stats.evictions`` counts
         them).  ``None`` = unbounded.
+    store_budget_bytes:
+        On-disk *byte* budget for the persistent store, same eviction
+        policy; both budgets may be active at once.  Entries pinned via
+        ``server.store.pin(key)`` survive eviction.
     """
 
     def __init__(
@@ -99,6 +111,7 @@ class NavigationServer:
         quotas: dict[str, int] | None = None,
         max_inflight: int | None = None,
         store_budget: int | None = None,
+        store_budget_bytes: int | None = None,
     ) -> None:
         if workers < 1:
             raise ServingError("a server needs at least one worker thread")
@@ -108,6 +121,7 @@ class NavigationServer:
             max_workers=profile_workers,
             cache_dir=cache_dir,
             store_budget=store_budget,
+            store_budget_bytes=store_budget_bytes,
         )
         self.profiler = SharedProfilingService(self.service)
         self._queue_config = {
@@ -187,7 +201,9 @@ class NavigationServer:
         """Queue one request; returns the job id to poll."""
         with self._lock:
             if self._stopping:
-                raise ServingError("server is stopping; submission rejected")
+                raise ServerStoppingError(
+                    "server is stopping; submission rejected"
+                )
             job_id = f"job-{self._next_id:04d}"
             self._next_id += 1
             job = Job(
@@ -206,7 +222,7 @@ class NavigationServer:
             with self._terminal:
                 if job.status is JobStatus.PENDING:
                     self._finish(job, JobStatus.CANCELLED)
-            raise ServingError(
+            raise ServerStoppingError(
                 "server is stopping; submission rejected"
             ) from None
         return job_id
@@ -220,11 +236,32 @@ class NavigationServer:
         try:
             return self._jobs[job_id]
         except KeyError:
-            raise ServingError(f"unknown job id {job_id!r}") from None
+            raise UnknownJobError(f"unknown job id {job_id!r}") from None
 
     def status(self, job_id: str) -> JobStatus:
         """Current lifecycle state of a job."""
         return self._get(job_id).status
+
+    def snapshot(self, job_id: str) -> JobSnapshot:
+        """One consistent view of a job's observable state.
+
+        Taken under the server lock, so status, error and timestamps all
+        belong to the same moment — the call handles (local and remote) use
+        this instead of separate ``status()``/``job()`` lookups that could
+        interleave with a worker's terminal transition.
+        """
+        job = self._get(job_id)
+        with self._lock:
+            return job.snapshot()
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobSnapshot:
+        """Block until the job is terminal (or ``timeout``); never raises on
+        the job's outcome — returns whatever state the wait ended in.  The
+        transport's long-poll primitive."""
+        job = self._get(job_id)
+        with self._terminal:
+            self._terminal.wait_for(lambda: job.done, timeout)
+            return job.snapshot()
 
     def job(self, job_id: str) -> Job:
         """Full bookkeeping record of a job (live object, read-only use)."""
@@ -235,10 +272,25 @@ class NavigationServer:
         with self._lock:
             return sorted(self._jobs.values(), key=lambda j: j.submitted_seq)
 
+    def snapshots(self) -> list[JobSnapshot]:
+        """Every accepted job's snapshot, in submission order.
+
+        One lock hold for the whole listing — the transport's job-list and
+        drain responses use this instead of per-job :meth:`snapshot` calls.
+        """
+        with self._lock:
+            return [
+                job.snapshot()
+                for job in sorted(
+                    self._jobs.values(), key=lambda j: j.submitted_seq
+                )
+            ]
+
     def result(self, job_id: str, timeout: float | None = None) -> JobResult:
         """Block until the job finishes and return its result.
 
-        Raises :class:`ServingError` on FAILED/CANCELLED jobs or timeout.
+        Raises :class:`JobFailedError` (with the server-side traceback) on
+        FAILED jobs and :class:`ServingError` on cancellation or timeout.
         """
         job = self._get(job_id)
         with self._terminal:
@@ -249,7 +301,7 @@ class NavigationServer:
             return job.result
         if job.status is JobStatus.CANCELLED:
             raise ServingError(f"{job_id} was cancelled")
-        raise ServingError(f"{job_id} failed: {job.error}")
+        raise JobFailedError(job_id, job.error or "", job.traceback)
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a job; returns whether cancellation took (or was started).
@@ -340,8 +392,10 @@ class NavigationServer:
                     with self._terminal:
                         self._finish(job, JobStatus.CANCELLED)
                 except Exception as exc:  # noqa: BLE001 — jobs fail, servers don't
+                    trace = traceback_mod.format_exc()
                     with self._terminal:
                         job.error = f"{type(exc).__name__}: {exc}"
+                        job.traceback = trace
                         self._finish(job, JobStatus.FAILED)
                 else:
                     with self._terminal:

@@ -1,0 +1,40 @@
+"""Network transport for the navigation serving layer.
+
+Splits the in-process :class:`~repro.serving.server.NavigationServer` /
+:class:`~repro.serving.client.NavigationClient` pair across a socket:
+
+* :mod:`.protocol` — the versioned wire format (request/response
+  dataclasses, typed error envelopes, tenant + idempotency headers);
+* :mod:`.server` — :class:`NavigationHTTPServer`, a stdlib
+  ``ThreadingHTTPServer`` front-end over an existing navigation server;
+* :mod:`.client` — :class:`RemoteNavigationClient` /
+  :class:`RemoteJobHandle`, the in-process client surface re-implemented
+  over HTTP long-polling, raising the same typed errors.
+
+Callers are transport-agnostic by construction: both clients expose the
+same methods with the same semantics, so a tenant moves between
+``NavigationClient(server)`` and ``RemoteNavigationClient(url)`` by
+swapping one constructor.
+"""
+
+from repro.serving.transport.client import (
+    RemoteJobHandle,
+    RemoteNavigationClient,
+)
+from repro.serving.transport.protocol import (
+    API_PREFIX,
+    IDEMPOTENCY_HEADER,
+    PROTOCOL_VERSION,
+    TENANT_HEADER,
+)
+from repro.serving.transport.server import NavigationHTTPServer
+
+__all__ = [
+    "API_PREFIX",
+    "IDEMPOTENCY_HEADER",
+    "PROTOCOL_VERSION",
+    "TENANT_HEADER",
+    "NavigationHTTPServer",
+    "RemoteJobHandle",
+    "RemoteNavigationClient",
+]

@@ -1,0 +1,349 @@
+"""Remote tenant handle: the :class:`NavigationClient` surface over HTTP.
+
+:class:`RemoteNavigationClient` speaks the :mod:`.protocol` wire format to a
+:class:`~repro.serving.transport.server.NavigationHTTPServer` using only the
+stdlib (``urllib``).  It mirrors the in-process client call for call —
+``submit`` / ``submit_many`` / ``navigate`` / ``navigate_many`` return
+:class:`RemoteJobHandle`\\ s with the same ``status`` / ``done`` /
+``result`` / ``cancel`` surface as :class:`~repro.serving.client.JobHandle`
+— so callers are transport-agnostic: swap the constructor, keep the code.
+
+Error behaviour matches too: the server ships typed error envelopes and the
+client re-raises the same :mod:`repro.errors` types the in-process path
+raises, including :class:`~repro.errors.JobFailedError` with the
+server-side traceback.
+
+Reliability: ``result`` long-polls in bounded rounds (the server never
+holds a request longer than ``MAX_POLL_SECONDS``), and ``submit`` attaches
+an idempotency key and retries connection-level failures with the *same*
+key, so a POST whose response was lost re-lands on the original job instead
+of enqueuing a duplicate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+import uuid
+
+from repro.config.settings import TaskSpec
+from repro.errors import ProtocolError, ServingError
+from repro.serving.transport.protocol import (
+    API_PREFIX,
+    IDEMPOTENCY_HEADER,
+    MAX_POLL_SECONDS,
+    PROTOCOL_VERSION,
+    TENANT_HEADER,
+    CancelResponse,
+    DrainResponse,
+    ResultResponse,
+    StatsResponse,
+    SubmitRequest,
+    SubmitResponse,
+    decode_error,
+)
+from repro.serving.types import (
+    JobResult,
+    JobSnapshot,
+    JobStatus,
+    NavigationRequest,
+)
+
+__all__ = ["RemoteJobHandle", "RemoteNavigationClient"]
+
+
+class RemoteJobHandle:
+    """One remotely-submitted job; mirrors the in-process ``JobHandle``."""
+
+    def __init__(self, client: "RemoteNavigationClient", job_id: str) -> None:
+        self.client = client
+        self.job_id = job_id
+
+    def snapshot(self) -> JobSnapshot:
+        """Consistent point-in-time view of the job's observable state."""
+        return self.client.snapshot(self.job_id)
+
+    @property
+    def status(self) -> JobStatus:
+        return self.snapshot().status
+
+    @property
+    def done(self) -> bool:
+        return self.snapshot().done
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Long-poll for the result; raises
+        :class:`~repro.errors.JobFailedError` on FAILED jobs."""
+        return self.client.result(self.job_id, timeout)
+
+    def cancel(self) -> bool:
+        return self.client.cancel(self.job_id)
+
+    def __repr__(self) -> str:
+        # No status here: repr must stay cheap and non-raising, and status
+        # is a network round trip on this side of the transport.
+        return f"RemoteJobHandle({self.job_id} @ {self.client.url})"
+
+
+class RemoteNavigationClient:
+    """A named tenant submitting navigation requests over the network.
+
+    Parameters
+    ----------
+    url:
+        Server base URL, e.g. ``http://127.0.0.1:8765`` (the ``/v1``
+        namespace is appended here).
+    tenant:
+        Fair-share lane every request from this client rides (sent as the
+        ``X-Repro-Tenant`` header; a request's own ``tenant`` field wins).
+    request_timeout:
+        Socket-level timeout for one HTTP round trip.  Long-poll rounds add
+        their poll window on top, so a slow result never trips it.
+    retries:
+        Connection-level retries (server unreachable, response lost) for
+        idempotent calls — GETs, and submits keyed for replay.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        tenant: str = "",
+        request_timeout: float = 30.0,
+        retries: int = 2,
+    ) -> None:
+        if retries < 0:
+            raise ServingError("retries must be non-negative")
+        self.url = url.rstrip("/")
+        self.tenant = tenant
+        self.request_timeout = request_timeout
+        self.retries = retries
+
+    # -------------------------------------------------------------- plumbing
+    def _call(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict | None = None,
+        headers: dict[str, str] | None = None,
+        retry: bool = False,
+        extra_timeout: float = 0.0,
+    ) -> dict:
+        """One HTTP round trip; returns the parsed JSON response body.
+
+        Server-reported failures arrive as typed error envelopes and are
+        re-raised as the corresponding :mod:`repro.errors` exception.
+        Connection-level failures raise :class:`ServingError` after
+        ``retries`` attempts (only when ``retry`` — the call must be
+        idempotent).
+        """
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.url}{API_PREFIX}{path}", data=data, method=method
+        )
+        request.add_header("Content-Type", "application/json")
+        if self.tenant:
+            request.add_header(TENANT_HEADER, self.tenant)
+        for name, value in (headers or {}).items():
+            request.add_header(name, value)
+
+        attempts = (self.retries if retry else 0) + 1
+        last_exc: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(min(0.05 * 2**attempt, 1.0))
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.request_timeout + extra_timeout
+                ) as response:
+                    payload = json.loads(response.read().decode("utf-8"))
+                break
+            except urllib.error.HTTPError as exc:
+                # The server replied: decode its typed envelope (no retry —
+                # the request was received and rejected).
+                try:
+                    envelope = json.loads(exc.read().decode("utf-8"))
+                except ValueError:
+                    raise ProtocolError(
+                        f"non-protocol error response (HTTP {exc.code})"
+                    ) from None
+                raise decode_error(envelope.get("error", {})) from None
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                last_exc = exc
+        else:
+            raise ServingError(
+                f"cannot reach navigation server at {self.url}: {last_exc}"
+            ) from last_exc
+        version = payload.get("protocol")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: client speaks "
+                f"{PROTOCOL_VERSION}, server replied {version!r}"
+            )
+        return payload
+
+    def _build(
+        self, task: TaskSpec | NavigationRequest, **kwargs
+    ) -> NavigationRequest:
+        if isinstance(task, NavigationRequest):
+            return task
+        kwargs.setdefault("tag", self.tenant)
+        kwargs.setdefault("tenant", self.tenant)
+        return NavigationRequest(task=task, **kwargs)
+
+    def _submit_specs(self, specs: list[dict], *, batch: bool) -> list[str]:
+        request = SubmitRequest(
+            specs=specs, idempotency_key=str(uuid.uuid4()), batch=batch
+        )
+        payload = self._call(
+            "POST",
+            "/jobs",
+            body=request.to_wire(),
+            headers={IDEMPOTENCY_HEADER: request.idempotency_key},
+            retry=True,  # safe: retries replay the same idempotency key
+        )
+        return SubmitResponse.from_wire(payload).job_ids
+
+    # ------------------------------------------------------------------ API
+    def health(self) -> dict:
+        """Liveness probe; raises :class:`ServingError` when unreachable."""
+        return self._call("GET", "/health", retry=True)
+
+    def submit(
+        self, task: TaskSpec | NavigationRequest, **kwargs
+    ) -> RemoteJobHandle:
+        """Submit one request (a :class:`TaskSpec` plus request kwargs, or a
+        ready-made :class:`NavigationRequest`)."""
+        request = self._build(task, **kwargs)
+        job_ids = self._submit_specs([request.to_dict()], batch=False)
+        return RemoteJobHandle(self, job_ids[0])
+
+    def submit_many(
+        self, tasks: list[TaskSpec | NavigationRequest], **kwargs
+    ) -> list[RemoteJobHandle]:
+        """Submit a batch; one handle per task, in order.  The batch rides
+        one POST (and one idempotency key), so a retried batch can never
+        partially double-enqueue."""
+        specs = [self._build(task, **kwargs).to_dict() for task in tasks]
+        return [
+            RemoteJobHandle(self, job_id)
+            for job_id in self._submit_specs(specs, batch=True)
+        ]
+
+    def navigate(
+        self,
+        task: TaskSpec | NavigationRequest,
+        *,
+        timeout: float | None = None,
+        **kwargs,
+    ) -> JobResult:
+        """Submit and block for the result (the one-call convenience)."""
+        return self.submit(task, **kwargs).result(timeout)
+
+    def navigate_many(
+        self,
+        tasks: list[TaskSpec | NavigationRequest],
+        *,
+        timeout: float | None = None,
+        **kwargs,
+    ) -> list[JobResult]:
+        """Submit a batch and block for every result, in submission order."""
+        handles = self.submit_many(tasks, **kwargs)
+        return [handle.result(timeout) for handle in handles]
+
+    def snapshot(self, job_id: str) -> JobSnapshot:
+        """One consistent view of a job's observable state."""
+        payload = self._call("GET", f"/jobs/{job_id}", retry=True)
+        payload.pop("protocol", None)
+        return JobSnapshot.from_dict(payload)
+
+    def status(self, job_id: str) -> JobStatus:
+        """Current lifecycle state of a job."""
+        return self.snapshot(job_id).status
+
+    def result(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """Block until the job finishes and return its result.
+
+        Implemented as chained long-poll rounds: the server holds each GET
+        up to ``MAX_POLL_SECONDS``, replies "not done yet", and the client
+        re-arms until the job lands or ``timeout`` elapses.  Outcomes match
+        the in-process path: :class:`~repro.errors.JobFailedError` on
+        FAILED, :class:`ServingError` on cancellation or timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            # Poll before checking the deadline: timeout=0 is the
+            # non-blocking "return it if it's ready" probe, same as the
+            # in-process Condition.wait_for(pred, 0) checking once.
+            window = (
+                MAX_POLL_SECONDS
+                if deadline is None
+                else max(
+                    0.0, min(deadline - time.monotonic(), MAX_POLL_SECONDS)
+                )
+            )
+            payload = self._call(
+                "GET",
+                f"/jobs/{job_id}/result?timeout={window:.3f}",
+                retry=True,
+                extra_timeout=window,
+            )
+            response = ResultResponse.from_wire(payload)
+            if not response.done:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise ServingError(f"timed out waiting for {job_id}")
+                continue
+            if response.error is not None:
+                raise decode_error(response.error)
+            if response.result is None:
+                raise ProtocolError(
+                    f"terminal result response for {job_id} carries "
+                    "neither result nor error"
+                )
+            return JobResult.from_dict(response.result)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job (PENDING drop / cooperative RUNNING cancel)."""
+        payload = self._call("POST", f"/jobs/{job_id}/cancel")
+        return CancelResponse.from_wire(payload).cancelled
+
+    def drain(self, timeout: float | None = None) -> list[JobSnapshot]:
+        """Block until every accepted job is terminal; returns snapshots.
+
+        Raises :class:`ServingError` on timeout, like the in-process
+        ``server.drain``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            # As in result(): always poll once, so timeout=0 still drains an
+            # already-idle server instead of raising unconditionally.
+            window = (
+                MAX_POLL_SECONDS
+                if deadline is None
+                else max(
+                    0.0, min(deadline - time.monotonic(), MAX_POLL_SECONDS)
+                )
+            )
+            payload = self._call(
+                "POST",
+                f"/drain?timeout={window:.3f}",
+                retry=True,
+                extra_timeout=window,
+            )
+            response = DrainResponse.from_wire(payload)
+            if response.done:
+                return [JobSnapshot.from_dict(job) for job in response.jobs]
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServingError("timed out draining the server")
+
+    def stats(self) -> StatsResponse:
+        """Server-side profiling counters, store gauges and job census."""
+        return StatsResponse.from_wire(self._call("GET", "/stats", retry=True))
+
+    def jobs(self) -> list[JobSnapshot]:
+        """Every accepted job's snapshot, in submission order."""
+        payload = self._call("GET", "/jobs", retry=True)
+        return [JobSnapshot.from_dict(job) for job in payload["jobs"]]

@@ -1,0 +1,373 @@
+"""Versioned wire protocol of the navigation serving transport.
+
+Everything that crosses the socket is defined here — request/response
+dataclasses with ``to_wire``/``from_wire`` JSON mappings, the typed error
+envelope that carries :mod:`repro.errors` across processes, and the two
+transport headers — so :mod:`.server` and :mod:`.client` can only disagree
+with each other by disagreeing with this module.
+
+Versioning
+----------
+``PROTOCOL_VERSION`` names the wire format; the URL namespace embeds it
+(``/v1/...``) and every response echoes it.  A server receiving a body whose
+``protocol`` field names a different version rejects it with a
+:class:`~repro.errors.ProtocolError` envelope instead of guessing.
+
+Error envelope
+--------------
+Failures travel as ``{"error": {"kind", "message", ...}}`` where ``kind`` is
+the :mod:`repro.errors` class name.  :func:`decode_error` reconstructs the
+typed exception client-side, so ``except ServingError`` / ``except
+JobFailedError`` behaves identically against a local and a remote server —
+including :class:`JobFailedError`'s server-side traceback text.
+
+Idempotent submission
+---------------------
+A client retrying a submit POST (connection dropped after the server read
+the body but before the response landed) sends the same
+``X-Repro-Idempotency-Key``; the server remembers ``(tenant, key) -> job
+id`` and replays the original response instead of double-enqueuing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ConfigError,
+    ExplorationError,
+    GraphError,
+    JobCancelled,
+    JobFailedError,
+    ProtocolError,
+    ReproError,
+    ServerStoppingError,
+    ServingError,
+    UnknownJobError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "API_PREFIX",
+    "TENANT_HEADER",
+    "IDEMPOTENCY_HEADER",
+    "MAX_POLL_SECONDS",
+    "MAX_BODY_BYTES",
+    "encode_error",
+    "error_body",
+    "decode_error",
+    "parse_json",
+    "check_protocol",
+    "SubmitRequest",
+    "SubmitResponse",
+    "ResultResponse",
+    "CancelResponse",
+    "DrainResponse",
+    "StatsResponse",
+]
+
+#: wire-format version; embedded in the URL namespace (``/v1``) and echoed
+#: in every response body.  Bump on any incompatible payload change.
+PROTOCOL_VERSION = 1
+
+#: URL prefix every endpoint lives under.
+API_PREFIX = f"/v{PROTOCOL_VERSION}"
+
+#: names the fair-share lane of a request that does not carry its own
+#: ``tenant`` field (the request body wins when both are present).
+TENANT_HEADER = "X-Repro-Tenant"
+
+#: submit-retry dedup key; scoped per tenant server-side.
+IDEMPOTENCY_HEADER = "X-Repro-Idempotency-Key"
+
+#: ceiling on one long-poll round's server-side wait.  Clients wanting a
+#: longer overall timeout chain rounds; keeping each round short bounds how
+#: long a dead client can park a handler thread.
+MAX_POLL_SECONDS = 30.0
+
+#: request bodies past this are rejected before parsing (a navigation spec
+#: is a few hundred bytes; anything near this limit is not a spec).
+MAX_BODY_BYTES = 4 * 2**20
+
+
+# ------------------------------------------------------------ error envelope
+#: exception types allowed to cross the wire, by envelope ``kind``.  Anything
+#: else degrades to its nearest listed ancestor (ultimately ``ReproError``),
+#: so an envelope can never instantiate an arbitrary class.
+WIRE_ERRORS: dict[str, type[ReproError]] = {
+    cls.__name__: cls
+    for cls in (
+        ReproError,
+        GraphError,
+        ConfigError,
+        ExplorationError,
+        ServingError,
+        ServerStoppingError,
+        UnknownJobError,
+        JobCancelled,
+        JobFailedError,
+        ProtocolError,
+    )
+}
+
+
+def encode_error(exc: BaseException) -> dict:
+    """Error envelope payload for one exception.
+
+    Non-``ReproError`` exceptions (handler bugs) are wrapped as plain
+    ``ServingError`` envelopes — the client gets a typed failure either way
+    and the server's internals stay server-side.
+    """
+    kind = type(exc).__name__
+    if kind not in WIRE_ERRORS:
+        for ancestor in type(exc).__mro__:
+            if ancestor.__name__ in WIRE_ERRORS:
+                kind = ancestor.__name__
+                break
+        else:
+            kind = "ServingError"
+    envelope: dict = {"kind": kind, "message": str(exc)}
+    if isinstance(exc, JobFailedError):
+        envelope["job_id"] = exc.job_id
+        envelope["message"] = exc.message
+        envelope["traceback"] = exc.traceback
+    return envelope
+
+
+def error_body(exc: BaseException) -> dict:
+    """Full HTTP error response body wrapping :func:`encode_error`."""
+    return {"error": encode_error(exc), "protocol": PROTOCOL_VERSION}
+
+
+def decode_error(envelope: dict) -> ReproError:
+    """Typed exception for one error envelope (the ``"error"`` value)."""
+    kind = WIRE_ERRORS.get(envelope.get("kind", ""), ServingError)
+    message = envelope.get("message", "remote serving error")
+    if kind is JobFailedError:
+        return JobFailedError(
+            envelope.get("job_id", "<unknown job>"),
+            message,
+            envelope.get("traceback"),
+        )
+    return kind(message)
+
+
+# ---------------------------------------------------------------- primitives
+def parse_json(raw: bytes) -> dict:
+    """Decode one JSON object body; :class:`ProtocolError` on anything else."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def check_protocol(payload: dict) -> None:
+    """Reject bodies from a different protocol version (missing = current)."""
+    version = payload.get("protocol", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: server speaks {PROTOCOL_VERSION}, "
+            f"request carries {version!r}"
+        )
+
+
+# --------------------------------------------------------- request dataclasses
+@dataclass(frozen=True)
+class SubmitRequest:
+    """``POST /v1/jobs`` body: one or more request specs to enqueue.
+
+    ``specs`` are :meth:`NavigationRequest.to_dict` payloads (the job-file
+    format).  ``idempotency_key`` may also arrive via the header; the body
+    field wins.  A single-spec submit and a batch share one shape — the
+    response mirrors whichever arity was sent.
+    """
+
+    specs: list[dict]
+    idempotency_key: str | None = None
+    batch: bool = False
+
+    def to_wire(self) -> dict:
+        out: dict = {"protocol": PROTOCOL_VERSION}
+        if self.batch:
+            out["requests"] = self.specs
+        else:
+            out["request"] = self.specs[0]
+        if self.idempotency_key is not None:
+            out["idempotency_key"] = self.idempotency_key
+        return out
+
+    @classmethod
+    def from_wire(cls, payload: dict, *, header_key: str | None = None):
+        check_protocol(payload)
+        if "request" in payload:
+            specs, batch = [payload["request"]], False
+        elif "requests" in payload:
+            specs, batch = payload["requests"], True
+            if not isinstance(specs, list):
+                raise ProtocolError("'requests' must be a JSON list")
+        else:
+            raise ProtocolError(
+                "submit body needs a 'request' object or a 'requests' list"
+            )
+        for spec in specs:
+            if not isinstance(spec, dict):
+                raise ProtocolError("every request spec must be a JSON object")
+        key = payload.get("idempotency_key", header_key)
+        if key is not None and not isinstance(key, str):
+            raise ProtocolError("idempotency_key must be a string")
+        return cls(specs=specs, idempotency_key=key, batch=batch)
+
+
+# -------------------------------------------------------- response dataclasses
+@dataclass(frozen=True)
+class SubmitResponse:
+    """Submit outcome: the accepted job id(s).
+
+    ``deduplicated`` is ``True`` when an idempotency key matched a previous
+    submit and the original ids were replayed (nothing was enqueued).
+    """
+
+    job_ids: list[str]
+    batch: bool = False
+    deduplicated: bool = False
+
+    def to_wire(self) -> dict:
+        out: dict = {
+            "protocol": PROTOCOL_VERSION,
+            "deduplicated": self.deduplicated,
+        }
+        if self.batch:
+            out["job_ids"] = self.job_ids
+        else:
+            out["job_id"] = self.job_ids[0]
+        return out
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "SubmitResponse":
+        check_protocol(payload)
+        if "job_ids" in payload:
+            return cls(
+                job_ids=list(payload["job_ids"]),
+                batch=True,
+                deduplicated=payload.get("deduplicated", False),
+            )
+        if "job_id" not in payload:
+            raise ProtocolError("submit response carries no job id")
+        return cls(
+            job_ids=[payload["job_id"]],
+            deduplicated=payload.get("deduplicated", False),
+        )
+
+
+@dataclass(frozen=True)
+class ResultResponse:
+    """Long-poll result round: terminal payload or a keep-polling status.
+
+    ``done=False`` means the wait timed out server-side with the job still
+    live (``status`` says where it is) — the client simply opens the next
+    round.  ``done=True`` carries exactly one of ``result`` (a
+    :meth:`JobResult.to_dict` payload) or ``error`` (an error envelope for
+    FAILED/CANCELLED jobs, decoded client-side into the same exception the
+    in-process path raises).
+    """
+
+    done: bool
+    status: str
+    result: dict | None = None
+    error: dict | None = None
+
+    def to_wire(self) -> dict:
+        out: dict = {
+            "protocol": PROTOCOL_VERSION,
+            "done": self.done,
+            "status": self.status,
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "ResultResponse":
+        check_protocol(payload)
+        if "done" not in payload or "status" not in payload:
+            raise ProtocolError("result response needs 'done' and 'status'")
+        return cls(
+            done=payload["done"],
+            status=payload["status"],
+            result=payload.get("result"),
+            error=payload.get("error"),
+        )
+
+
+@dataclass(frozen=True)
+class CancelResponse:
+    """``POST /v1/jobs/<id>/cancel`` outcome (mirrors ``server.cancel``)."""
+
+    cancelled: bool
+
+    def to_wire(self) -> dict:
+        return {"protocol": PROTOCOL_VERSION, "cancelled": self.cancelled}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "CancelResponse":
+        check_protocol(payload)
+        return cls(cancelled=bool(payload.get("cancelled")))
+
+
+@dataclass(frozen=True)
+class DrainResponse:
+    """One drain round: every job's snapshot plus whether all are terminal."""
+
+    done: bool
+    jobs: list[dict] = field(default_factory=list)
+
+    def to_wire(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "done": self.done,
+            "jobs": self.jobs,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "DrainResponse":
+        check_protocol(payload)
+        return cls(
+            done=bool(payload.get("done")), jobs=list(payload.get("jobs", []))
+        )
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """``GET /v1/stats``: profiling counters, store gauges, job census."""
+
+    profiling: dict
+    store: dict
+    jobs: dict
+
+    def to_wire(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "profiling": self.profiling,
+            "store": self.store,
+            "jobs": self.jobs,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "StatsResponse":
+        check_protocol(payload)
+        try:
+            return cls(
+                profiling=payload["profiling"],
+                store=payload["store"],
+                jobs=payload["jobs"],
+            )
+        except KeyError as exc:
+            raise ProtocolError(f"stats response missing {exc}") from None

@@ -201,6 +201,82 @@ class TestStoreManagement:
         assert store.refresh() == 1
         assert len(store) == 1
 
+    def test_nbytes_tracks_saves_overwrites_discards(self, tmp_path, record):
+        store = ResultStore(tmp_path)
+        keys = self._populate(store, record, 3)
+        on_disk = sum(p.stat().st_size for p in tmp_path.glob("gt_*.json"))
+        assert store.nbytes == on_disk
+        store.save(keys[0], record)  # overwrite: byte total stays in sync
+        assert store.nbytes == sum(
+            p.stat().st_size for p in tmp_path.glob("gt_*.json")
+        )
+        store.prune(max_entries=1)
+        assert len(store) == 1
+        assert store.nbytes == sum(
+            p.stat().st_size for p in tmp_path.glob("gt_*.json")
+        )
+        # a fresh instance and refresh() both agree with the disk
+        assert ResultStore(tmp_path).nbytes == store.nbytes
+        store.refresh()
+        assert store.nbytes == sum(
+            p.stat().st_size for p in tmp_path.glob("gt_*.json")
+        )
+
+    def test_prune_bytes_evicts_oldest_to_budget(self, tmp_path, record):
+        store = ResultStore(tmp_path)
+        keys = self._populate(store, record, 4)
+        paths = [tmp_path / f"gt_{k}.json" for k in keys]
+        now = paths[-1].stat().st_mtime
+        for age, path in enumerate(reversed(paths)):
+            os.utime(path, (now - age, now - age))  # paths[0] oldest
+        entry = paths[0].stat().st_size
+        removed = store.prune_bytes(2 * entry)
+        assert removed == 2
+        assert store.nbytes <= 2 * entry
+        assert store.keys() == sorted(keys[-2:])  # oldest went first
+        assert store.prune_bytes(2 * entry) == 0  # already within budget
+        with pytest.raises(ValueError):
+            store.prune_bytes(-1)
+
+    def test_pinned_entries_survive_eviction(self, tmp_path, record):
+        store = ResultStore(tmp_path)
+        keys = self._populate(store, record, 4)
+        paths = [tmp_path / f"gt_{k}.json" for k in keys]
+        now = paths[-1].stat().st_mtime
+        for age, path in enumerate(reversed(paths)):
+            os.utime(path, (now - age, now - age))  # keys[0] oldest
+        store.pin(keys[0])  # the oldest — first in line for eviction
+        assert store.prune(max_entries=2) == 2
+        kept = store.keys()
+        assert keys[0] in kept  # pinned: survived although oldest
+        assert kept == sorted([keys[0], keys[3]])
+        # byte budget respects pins the same way
+        store.pin(keys[3])
+        assert store.prune_bytes(0) == 0  # everything left is pinned
+        assert len(store) == 2
+        store.unpin(keys[0])
+        assert store.prune_bytes(0) == 1  # unpinned entry now evictable
+        assert store.keys() == [keys[3]]
+        assert store.pinned == {keys[3]}
+
+    def test_service_byte_budget_bounds_store(
+        self, small_graph, tiny_task, configs, tmp_path
+    ):
+        probe = ProfilingService(cache_dir=tmp_path / "probe")
+        probe.profile(tiny_task, configs[:1], graph=small_graph)
+        entry = probe.store.nbytes  # bytes of one record on this platform
+
+        # room for one record but not two: the second commit must evict
+        budget = entry + entry // 2
+        service = ProfilingService(
+            cache_dir=tmp_path / "store", store_budget_bytes=budget
+        )
+        service.profile(tiny_task, configs, graph=small_graph)
+        assert service.store.nbytes <= budget
+        assert service.stats.evictions > 0
+        with pytest.raises(ValueError):
+            ProfilingService(store_budget_bytes=0)
+
 
 class TestIntegration:
     def test_profile_configs_wrapper_with_cache(

@@ -10,7 +10,7 @@ import pytest
 
 from repro.config import TaskSpec
 from repro.config.space import default_space
-from repro.errors import ServingError
+from repro.errors import JobFailedError, ServingError
 from repro.explorer import GNNavigator
 from repro.runtime import ProfilingService
 from repro.serving import (
@@ -88,6 +88,18 @@ class TestRequestSpec:
             tag="tenant-a",
         )
         clone = NavigationRequest.from_dict(request.to_dict())
+        assert clone == request
+
+    def test_task_split_fractions_round_trip(self):
+        request = NavigationRequest(
+            task=TaskSpec(dataset="tiny", train_frac=0.7, val_frac=0.1),
+            budget=8,
+        )
+        spec = request.to_dict()
+        assert spec["train_frac"] == 0.7 and spec["val_frac"] == 0.1
+        clone = NavigationRequest.from_dict(spec)
+        assert clone.task.train_frac == 0.7
+        assert clone.task.val_frac == 0.1
         assert clone == request
 
     def test_constraint_round_trip(self):
@@ -211,7 +223,7 @@ class TestNavigationServer:
             server.result(drop)
         assert server.cancel(keep) is False  # terminal jobs stay put
 
-    def test_failed_job_reports_error(self, server_factory):
+    def test_failed_job_raises_typed_error(self, server_factory):
         server = server_factory(workers=1)
         job_id = server.submit(
             _request(TaskSpec(dataset="no-such-dataset", epochs=1))
@@ -219,8 +231,32 @@ class TestNavigationServer:
         server.drain(timeout=60)
         assert server.status(job_id) is JobStatus.FAILED
         assert "no-such-dataset" in server.job(job_id).error
+        with pytest.raises(JobFailedError) as excinfo:
+            server.result(job_id)
+        assert excinfo.value.job_id == job_id
+        assert "no-such-dataset" in excinfo.value.message
+        assert "Traceback" in (excinfo.value.traceback or "")
+        # still a ServingError, so coarse handlers keep working
         with pytest.raises(ServingError):
             server.result(job_id)
+
+    def test_snapshot_is_one_consistent_view(self, server_factory):
+        server = server_factory(workers=1, autostart=False)
+        task = TaskSpec(dataset="tiny", arch="sage", epochs=1)
+        job_id = server.submit(_request(task, tenant="team-a", priority=3))
+        snapshot = server.snapshot(job_id)
+        assert snapshot.status is JobStatus.PENDING
+        assert not snapshot.done
+        assert snapshot.tenant == "team-a"
+        assert snapshot.priority == 3
+        assert snapshot.started_at is None
+        server.start()
+        server.drain(timeout=240)
+        after = server.snapshot(job_id)
+        assert after.done and after.status is JobStatus.DONE
+        assert after.finished_at is not None
+        # wire round trip preserves the snapshot exactly
+        assert type(after).from_dict(after.to_dict()) == after
 
     def test_unknown_job_id(self, server_factory):
         server = server_factory()
@@ -339,3 +375,35 @@ class TestServeCLI:
 
         args = build_parser().parse_args(["navigate", "--shared-cache"])
         assert args.shared_cache
+
+    def test_network_flags_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "8765", "--host", "0.0.0.0",
+             "--store-budget-bytes", "4096"]
+        )
+        assert args.port == 8765 and args.host == "0.0.0.0"
+        assert args.store_budget_bytes == 4096
+        assert args.jobs is None  # network mode needs no job file
+        args = parser.parse_args(
+            ["submit", "--server", "http://127.0.0.1:8765", "--wait",
+             "--tenant", "team-a", "--queue-priority", "3"]
+        )
+        assert args.server == "http://127.0.0.1:8765"
+        assert args.wait and args.tenant == "team-a"
+        assert args.queue_priority == 3
+        args = parser.parse_args(
+            ["poll", "--server", "http://x", "job-0000", "job-0001"]
+        )
+        assert args.job_ids == ["job-0000", "job-0001"]
+        args = parser.parse_args(["cancel", "--server", "http://x", "job-0000"])
+        assert args.job_ids == ["job-0000"]
+        assert parser.parse_args(["stats", "--server", "http://x"]).tenant == ""
+
+    def test_serve_requires_jobs_or_port(self):
+        from repro.cli import main
+
+        with pytest.raises(ServingError, match="--jobs .*--port|--port"):
+            main(["serve"])

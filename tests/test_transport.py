@@ -1,0 +1,380 @@
+"""Network transport tests: wire protocol, HTTP server, remote client.
+
+The parity class runs the serving-layer behavioural scenarios through a
+parametrized client fixture — once with the in-process
+:class:`NavigationClient`, once with :class:`RemoteNavigationClient` over a
+real socket — so the two transports can only pass together.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import TaskSpec
+from repro.errors import (
+    JobFailedError,
+    ProtocolError,
+    ServingError,
+    UnknownJobError,
+)
+from repro.serving import (
+    JobStatus,
+    NavigationClient,
+    NavigationRequest,
+    NavigationServer,
+)
+from repro.serving.transport import (
+    IDEMPOTENCY_HEADER,
+    PROTOCOL_VERSION,
+    TENANT_HEADER,
+    NavigationHTTPServer,
+    RemoteNavigationClient,
+)
+from repro.serving.transport.protocol import (
+    SubmitRequest,
+    check_protocol,
+    decode_error,
+    encode_error,
+)
+from repro.serving.types import JobResult
+
+
+def _task(**kwargs) -> TaskSpec:
+    kwargs.setdefault("dataset", "tiny")
+    kwargs.setdefault("arch", "sage")
+    kwargs.setdefault("epochs", 1)
+    return TaskSpec(**kwargs)
+
+
+def _request(task: TaskSpec, **kwargs) -> NavigationRequest:
+    kwargs.setdefault("budget", 8)
+    kwargs.setdefault("profile_epochs", 1)
+    return NavigationRequest(task=task, **kwargs)
+
+
+@pytest.fixture()
+def stack(small_graph, tmp_path):
+    """A NavigationServer plus its HTTP transport; torn down in order."""
+    server = NavigationServer(
+        workers=2,
+        graphs={"tiny": small_graph},
+        cache_dir=str(tmp_path / "store"),
+    )
+    http = NavigationHTTPServer(server)
+    http.start()
+    yield server, http
+    http.stop()
+    server.stop()
+
+
+@pytest.fixture(params=["inprocess", "http"])
+def client(request, stack):
+    """The same tenant surface over both transports (the parity fixture)."""
+    server, http = stack
+    if request.param == "inprocess":
+        return NavigationClient(server, tenant="team-a")
+    return RemoteNavigationClient(http.url, tenant="team-a")
+
+
+def _post(url: str, body, headers: dict | None = None):
+    """Raw POST; returns (status, payload) without raising on HTTP errors."""
+    data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    request = urllib.request.Request(url, data=data, method="POST")
+    request.add_header("Content-Type", "application/json")
+    for name, value in (headers or {}).items():
+        request.add_header(name, value)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+class TestClientParity:
+    """tests/test_serving.py behavioural scenarios, over both transports."""
+
+    def test_submit_result_and_snapshot(self, client):
+        handle = client.submit(_task(), budget=8, profile_epochs=1)
+        result = handle.result(timeout=240)
+        assert "balance" in result.guidelines
+        assert result.report.num_ground_truth > 0
+        assert result.perf is None  # train not requested
+        assert handle.done
+        assert handle.status is JobStatus.DONE
+        snapshot = handle.snapshot()
+        assert snapshot.status is JobStatus.DONE
+        assert snapshot.tenant == "team-a"
+        assert snapshot.finished_at is not None
+
+    def test_submit_many_in_order(self, client):
+        handles = client.submit_many(
+            [_request(_task()), _request(_task(), priorities=("ex_tm",))]
+        )
+        results = [h.result(timeout=240) for h in handles]
+        assert [h.job_id for h in handles] == ["job-0000", "job-0001"]
+        assert set(results[0].guidelines) == {"balance"}
+        assert set(results[1].guidelines) == {"ex_tm"}
+
+    def test_navigate_convenience(self, client):
+        result = client.navigate(
+            _task(), budget=8, profile_epochs=1, timeout=240
+        )
+        assert "balance" in result.guidelines
+
+    def test_failed_job_raises_typed_error(self, client):
+        handle = client.submit(
+            _task(dataset="no-such-dataset"), budget=8, profile_epochs=1
+        )
+        with pytest.raises(JobFailedError) as excinfo:
+            handle.result(timeout=60)
+        assert excinfo.value.job_id == handle.job_id
+        assert "no-such-dataset" in excinfo.value.message
+        # the server-side traceback crosses the transport intact
+        assert "Traceback" in (excinfo.value.traceback or "")
+        # a typed failure is still a ServingError for coarse handlers
+        assert isinstance(excinfo.value, ServingError)
+
+    def test_unknown_job_id(self, client):
+        handle = client.submit(_task(), budget=8, profile_epochs=1)
+        owner = getattr(handle, "server", None) or handle.client
+        bogus = type(handle)(owner, "job-9999")
+        with pytest.raises(UnknownJobError):
+            bogus.status  # noqa: B018 — the property raises
+        with pytest.raises(UnknownJobError):
+            bogus.result(timeout=1)
+
+    def test_cancel_after_done_is_noop(self, client):
+        handle = client.submit(_task(), budget=8, profile_epochs=1)
+        handle.result(timeout=240)
+        assert handle.cancel() is False
+        assert handle.status is JobStatus.DONE
+
+    def test_result_timeout(self, client):
+        handle = client.submit(_task(), budget=8, profile_epochs=1)
+        with pytest.raises(ServingError, match="timed out"):
+            handle.result(timeout=0.0)
+        # and the job still completes afterwards
+        assert handle.result(timeout=240) is not None
+        # timeout=0 on a terminal job is the non-blocking "get if ready"
+        # probe on both transports — it returns, never times out
+        assert handle.result(timeout=0.0) is not None
+
+
+class TestRemoteClient:
+    def test_health_and_stats(self, stack):
+        server, http = stack
+        client = RemoteNavigationClient(http.url)
+        health = client.health()
+        assert health["ok"] and health["protocol"] == PROTOCOL_VERSION
+        client.submit(_task(), budget=8, profile_epochs=1).result(timeout=240)
+        stats = client.stats()
+        assert stats.profiling["executed"] == server.stats.executed > 0
+        assert stats.store["persistent"] is True
+        assert stats.store["entries"] == len(server.store)
+        assert stats.jobs["done"] == 1
+
+    def test_unknown_job_maps_to_404_and_typed_error(self, stack):
+        _, http = stack
+        client = RemoteNavigationClient(http.url)
+        with pytest.raises(UnknownJobError, match="job-9999"):
+            client.status("job-9999")
+        with pytest.raises(UnknownJobError):
+            client.result("job-9999", timeout=1)
+        with pytest.raises(UnknownJobError):
+            client.cancel("job-9999")
+
+    def test_drain_and_jobs_listing(self, stack):
+        _, http = stack
+        client = RemoteNavigationClient(http.url, tenant="team-b")
+        client.submit_many([_request(_task()), _request(_task())])
+        snapshots = client.drain(timeout=240)
+        assert len(snapshots) == 2
+        assert all(s.status is JobStatus.DONE for s in snapshots)
+        listed = client.jobs()
+        assert [s.job_id for s in listed] == [s.job_id for s in snapshots]
+        assert all(s.tenant == "team-b" for s in listed)
+
+    def test_concurrent_remote_clients_share_one_measurement(self, stack):
+        server, http = stack
+        priorities = ["balance", "ex_tm", "ex_ma"]
+        results: list = [None] * len(priorities)
+        errors: list = []
+
+        def run(slot: int) -> None:
+            try:
+                tenant_client = RemoteNavigationClient(
+                    http.url, tenant=f"tenant-{slot}"
+                )
+                results[slot] = tenant_client.navigate(
+                    _task(),
+                    priorities=(priorities[slot],),
+                    budget=8,
+                    profile_epochs=1,
+                    timeout=240,
+                )
+            except Exception as exc:  # pragma: no cover — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(i,))
+            for i in range(len(priorities))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # same task + seed behind every tenant: the overlapping Step-2 fold
+        # was measured once across all HTTP clients, not once per client
+        assert server.stats.executed == results[0].report.num_ground_truth
+        for result, priority in zip(results, priorities):
+            assert set(result.guidelines) == {priority}
+
+
+class TestWireProtocol:
+    def test_malformed_json_is_a_protocol_error(self, stack):
+        _, http = stack
+        code, payload = _post(f"{http.url}/v1/jobs", b"{not json")
+        assert code == 400
+        assert payload["error"]["kind"] == "ProtocolError"
+        with pytest.raises(ProtocolError):
+            raise decode_error(payload["error"])
+
+    def test_non_object_body_rejected(self, stack):
+        _, http = stack
+        code, payload = _post(f"{http.url}/v1/jobs", [1, 2, 3])
+        assert code == 400
+        assert payload["error"]["kind"] == "ProtocolError"
+
+    def test_version_mismatch_rejected(self, stack):
+        _, http = stack
+        body = {"protocol": 999, "request": {"dataset": "tiny"}}
+        code, payload = _post(f"{http.url}/v1/jobs", body)
+        assert code == 400
+        assert "version mismatch" in payload["error"]["message"]
+
+    def test_unknown_endpoint_404(self, stack):
+        _, http = stack
+        code, payload = _post(f"{http.url}/v1/nonsense", {})
+        assert code == 404
+        # a wrong version prefix is outside the namespace entirely
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{http.url}/v0/jobs", timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_bad_request_spec_is_typed(self, stack):
+        _, http = stack
+        body = {"request": {"dataset": "tiny", "budgetx": 9}}
+        code, payload = _post(f"{http.url}/v1/jobs", body)
+        assert code == 400
+        assert payload["error"]["kind"] == "ServingError"
+        assert "budgetx" in payload["error"]["message"]
+
+    def test_idempotent_submit_replays_original_job(self, stack):
+        server, http = stack
+        body = {
+            "request": {
+                "dataset": "tiny",
+                "epochs": 1,
+                "budget": 8,
+                "profile_epochs": 1,
+            }
+        }
+        headers = {IDEMPOTENCY_HEADER: "retry-123"}
+        code, first = _post(f"{http.url}/v1/jobs", body, headers)
+        assert code == 200 and first["deduplicated"] is False
+        code, second = _post(f"{http.url}/v1/jobs", body, headers)
+        assert code == 200
+        assert second["job_id"] == first["job_id"]
+        assert second["deduplicated"] is True
+        # a different key is a different submission
+        code, third = _post(
+            f"{http.url}/v1/jobs", body, {IDEMPOTENCY_HEADER: "retry-456"}
+        )
+        assert third["job_id"] != first["job_id"]
+        assert len(server.jobs()) == 2
+
+    def test_tenant_header_names_the_lane(self, stack):
+        server, http = stack
+        spec = {"dataset": "tiny", "epochs": 1, "budget": 8,
+                "profile_epochs": 1}
+        _post(
+            f"{http.url}/v1/jobs",
+            {"request": spec},
+            {TENANT_HEADER: "header-tenant"},
+        )
+        _post(
+            f"{http.url}/v1/jobs",
+            {"request": {**spec, "tenant": "body-tenant"}},
+            {TENANT_HEADER: "header-tenant"},
+        )
+        tenants = [job.request.tenant for job in server.jobs()]
+        assert tenants == ["header-tenant", "body-tenant"]  # body wins
+
+    def test_error_envelope_round_trip(self):
+        original = JobFailedError("job-0007", "boom", "Traceback (most...)")
+        decoded = decode_error(encode_error(original))
+        assert isinstance(decoded, JobFailedError)
+        assert decoded.job_id == "job-0007"
+        assert decoded.message == "boom"
+        assert decoded.traceback == "Traceback (most...)"
+
+    def test_unlisted_error_degrades_to_nearest_ancestor(self):
+        class Weird(UnknownJobError):
+            pass
+
+        envelope = encode_error(Weird("gone"))
+        assert envelope["kind"] == "UnknownJobError"
+        # and an envelope can never instantiate an arbitrary class
+        hostile = decode_error({"kind": "object", "message": "x"})
+        assert isinstance(hostile, ServingError)
+
+    def test_submit_request_validation(self):
+        with pytest.raises(ProtocolError):
+            SubmitRequest.from_wire({})
+        with pytest.raises(ProtocolError):
+            SubmitRequest.from_wire({"requests": "not-a-list"})
+        with pytest.raises(ProtocolError):
+            SubmitRequest.from_wire({"request": "not-an-object"})
+        with pytest.raises(ProtocolError):
+            SubmitRequest.from_wire(
+                {"request": {}, "idempotency_key": 123}
+            )
+        with pytest.raises(ProtocolError):
+            check_protocol({"protocol": 2})
+        parsed = SubmitRequest.from_wire(
+            {"request": {"dataset": "tiny"}}, header_key="abc"
+        )
+        assert parsed.idempotency_key == "abc"
+        assert parsed.batch is False
+
+
+class TestResultSerialization:
+    def test_job_result_round_trips_through_json(self, stack):
+        server, _ = stack
+        job_id = server.submit(_request(_task(), train=True))
+        original = server.result(job_id, timeout=240)
+        clone = JobResult.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert set(clone.guidelines) == set(original.guidelines)
+        best, best_clone = original.best(), clone.best()
+        assert best_clone.config == best.config
+        assert best_clone.predicted == best.predicted
+        assert best_clone.score == pytest.approx(best.score)
+        report, report_clone = original.report, clone.report
+        assert report_clone.task == report.task
+        assert report_clone.num_ground_truth == report.num_ground_truth
+        assert report_clone.exploration.candidates == report.exploration.candidates
+        assert report_clone.exploration.stats == report.exploration.stats
+        assert report_clone.profile == report.profile
+        # the measured training run survives minus the per-batch rows
+        assert clone.perf is not None
+        assert clone.perf.time_s == pytest.approx(original.perf.time_s)
+        assert clone.perf.accuracy == pytest.approx(original.perf.accuracy)
+        assert clone.perf.memory.total == pytest.approx(original.perf.memory.total)
+        assert len(clone.perf.epochs) == len(original.perf.epochs)
+        assert clone.perf.batches == []
