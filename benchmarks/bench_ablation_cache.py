@@ -14,12 +14,12 @@ from repro.experiments import render_table
 from repro.runtime import RuntimeBackend
 
 
-def test_ablation_cache_policies(run_once, emit):
+def test_ablation_cache_policies(run_once, emit, quick):
     policies = ("none", "static", "fifo", "lru")
-    ratios = (0.1, 0.3, 0.5)
+    ratios = (0.1, 0.5) if quick else (0.1, 0.3, 0.5)
 
     def experiment():
-        task = TaskSpec(dataset="reddit2", arch="sage", epochs=3)
+        task = TaskSpec(dataset="reddit2", arch="sage", epochs=1 if quick else 3)
         results = {}
         for policy in policies:
             for ratio in ratios:
@@ -53,9 +53,10 @@ def test_ablation_cache_policies(run_once, emit):
     )
 
     no_cache_time = results[("none", ratios[0])][1]
-    for policy in ("static", "fifo", "lru"):
-        for ratio in ratios:
-            assert results[(policy, ratio)][1] <= no_cache_time * 1.02
+    if not quick:  # single-epoch timings are too noisy for a 2% band
+        for policy in ("static", "fifo", "lru"):
+            for ratio in ratios:
+                assert results[(policy, ratio)][1] <= no_cache_time * 1.02
 
     # Degree-priority static caching must win at the smallest ratio on a
     # power-law graph (hubs dominate sampled batches).

@@ -32,9 +32,13 @@ def _front_hypervolume(result) -> float:
     return hypervolume_2d(objs[pareto_mask(objs)], ref)
 
 
-def test_ablation_explorer_strategies(run_once, emit):
+def test_ablation_explorer_strategies(run_once, emit, quick):
+    budget, epochs = (16, 2) if quick else (40, 4)
+
     def experiment():
-        records = profiling_records(estimator_task("reddit2", epochs=4), budget=40)
+        records = profiling_records(
+            estimator_task("reddit2", epochs=epochs), budget=budget
+        )
         estimator = GrayBoxEstimator().fit(records)
         profile = profile_graph(load_dataset("reddit2"))
         platform = get_platform("rtx4090")
@@ -44,7 +48,12 @@ def test_ablation_explorer_strategies(run_once, emit):
         dfs_result = dfs.explore()
 
         local = LocalSearchExplorer(
-            space, estimator, profile, platform, restarts=6, max_steps=20
+            space,
+            estimator,
+            profile,
+            platform,
+            restarts=3 if quick else 6,
+            max_steps=10 if quick else 20,
         )
         local_result = local.explore(list(PRIORITY_PRESETS.values()))
 
@@ -81,4 +90,5 @@ def test_ablation_explorer_strategies(run_once, emit):
         f"{calls_local / max(calls_dfs, 1) * 100:.0f}% of the estimator calls"
     )
     assert calls_local < calls_dfs, "local search must be cheaper"
-    assert recovery > 0.6, "local search must recover most of the front"
+    if not quick:  # a half-budget estimator makes recovery unreliable
+        assert recovery > 0.6, "local search must recover most of the front"

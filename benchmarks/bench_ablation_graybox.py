@@ -20,11 +20,16 @@ from repro.experiments import profiling_records, render_table
 from repro.experiments.tasks import estimator_task
 
 
-def _fold():
+def _fold(quick: bool):
+    budget, epochs = (16, 2) if quick else (40, 4)
     train = []
     for ds in ("reddit", "ogbn-products"):
-        train.extend(profiling_records(estimator_task(ds, epochs=4), budget=40))
-    test = profiling_records(estimator_task("reddit2", epochs=4), budget=40)
+        train.extend(
+            profiling_records(estimator_task(ds, epochs=epochs), budget=budget)
+        )
+    test = profiling_records(
+        estimator_task("reddit2", epochs=epochs), budget=budget
+    )
     return train, test
 
 
@@ -42,9 +47,9 @@ def _score(estimator, test):
     return r2_t, r2_m
 
 
-def test_ablation_graybox_vs_alternatives(run_once, emit):
+def test_ablation_graybox_vs_alternatives(run_once, emit, quick):
     def experiment():
-        train, test = _fold()
+        train, test = _fold(quick)
         gray = GrayBoxEstimator().fit(train)
         white = GrayBoxEstimator(use_residuals=False).fit(train)
         black = BlackBoxEstimator().fit(train)
@@ -69,6 +74,7 @@ def test_ablation_graybox_vs_alternatives(run_once, emit):
         )
     )
     gray_t, gray_m = scores["gray-box (paper)"]
-    assert gray_t >= scores["black-box only"][0] - 0.05
-    assert gray_m >= scores["black-box only"][1] - 0.05
-    assert gray_t > 0.5 and gray_m > 0.5
+    if not quick:  # the 16-record quick fold is too small for R2 bands
+        assert gray_t >= scores["black-box only"][0] - 0.05
+        assert gray_m >= scores["black-box only"][1] - 0.05
+        assert gray_t > 0.5 and gray_m > 0.5

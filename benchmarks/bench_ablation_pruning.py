@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 
-from repro.config import TaskSpec, default_space
+from repro.config import default_space
 from repro.experiments import profiling_records, render_table
 from repro.experiments.tasks import estimator_task
 from repro.explorer import DFSExplorer, RuntimeConstraint
@@ -19,9 +19,13 @@ from repro.graphs import load_dataset, profile_graph
 from repro.hardware import get_platform
 
 
-def test_ablation_constraint_pruning(run_once, emit):
+def test_ablation_constraint_pruning(run_once, emit, quick):
+    budget, epochs = (16, 2) if quick else (40, 4)
+
     def experiment():
-        records = profiling_records(estimator_task("reddit2", epochs=4), budget=40)
+        records = profiling_records(
+            estimator_task("reddit2", epochs=epochs), budget=budget
+        )
         estimator = GrayBoxEstimator().fit(records)
         profile = profile_graph(load_dataset("reddit2"))
         explorer = DFSExplorer(
@@ -72,4 +76,5 @@ def test_ablation_constraint_pruning(run_once, emit):
     assert out[True]["feasible"] <= out[False]["feasible"]
     recall = len(out[True]["feasible"]) / max(len(out[False]["feasible"]), 1)
     emit(f"feasible-set recall under pruning: {recall * 100:.1f}%")
-    assert recall > 0.7
+    if not quick:  # a weak quick-mode estimator blurs the recall band
+        assert recall > 0.7

@@ -1,0 +1,166 @@
+"""Progress-event overhead — emission must be invisible next to the work.
+
+The event subsystem's contract is that observability is (nearly) free:
+
+1. **Emission cost**: one ``EventBuffer.append`` is a deque push under a
+   condition variable.  The bench measures it directly and checks that the
+   *total* emission time of a served job is under 5% of the job's wall
+   clock — the events a job emits are bounded (one per profiling candidate
+   plus a handful of phase transitions), so this is the bound that holds
+   regardless of machine noise.
+2. **Live subscriber**: a watcher long-polling the job's stream must not
+   slow the job down — reads take the buffer condition briefly; the
+   producer never waits for consumers.  The bench serves the same cold
+   workload with and without a live watcher and reports the ratio (the
+   wall-clock comparison is noise-sensitive, so the assertion carries a
+   small tolerance on top of the 5% target; the per-event bound above is
+   the deterministic check).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.config.settings import TaskSpec, TrainingConfig
+from repro.config.space import DesignSpace
+from repro.graphs.generators import powerlaw_community_graph
+from repro.serving import NavigationClient, NavigationServer
+from repro.serving.events import EventBuffer, JobProgressEvent
+
+APPEND_SAMPLES = 20_000
+
+#: compact space: the job is profiling-bound, the regime events ride along.
+SPACE = DesignSpace(
+    {
+        "batch_size": (32, 64, 128),
+        "hop_list": ((3, 2), (5, 3)),
+        "cache_ratio": (0.0, 0.25),
+        "hidden_channels": (16, 32),
+    },
+    base=TrainingConfig(),
+)
+
+
+def _workload(quick: bool):
+    # The full-mode job must run for whole seconds: the with-subscriber
+    # comparison divides two wall clocks, and a sub-second job would put
+    # scheduler jitter in the same decade as the 5% bound under test.
+    graph = powerlaw_community_graph(
+        400 if quick else 2000,
+        num_classes=5,
+        feature_dim=16 if quick else 32,
+        min_degree=3,
+        max_degree=60,
+        homophily=0.8,
+        feature_noise=0.8,
+        seed=33,
+        name="bench-events",
+    )
+    epochs = 1 if quick else 3
+    task = TaskSpec(dataset="bench-events", arch="sage", epochs=epochs, lr=0.02)
+    return graph, task
+
+
+def _serve_one(
+    graph, task, cache_dir, *, budget: int, profile_epochs: int, watcher: bool
+):
+    """One cold navigation; returns (wall_s, events_emitted, watched)."""
+    server = NavigationServer(
+        workers=1,
+        cache_dir=str(cache_dir),
+        graphs={task.dataset: graph},
+        space=SPACE,
+    )
+    try:
+        client = NavigationClient(server, tenant="bench")
+        seen: list = []
+        thread = None
+        t0 = time.perf_counter()
+        handle = client.submit(
+            task,
+            priorities=("balance",),
+            budget=budget,
+            profile_epochs=profile_epochs,
+        )
+        if watcher:
+            thread = threading.Thread(
+                target=lambda: seen.extend(handle.watch()), daemon=True
+            )
+            thread.start()
+        handle.result(timeout=600)
+        wall = time.perf_counter() - t0
+        if thread is not None:
+            thread.join(timeout=60)
+        emitted = server.metrics.counter("events_emitted")
+        return wall, emitted, len(seen)
+    finally:
+        server.stop()
+
+
+def test_event_emission_overhead_under_5_percent(run_once, emit, quick, tmp_path):
+    budget = 8 if quick else 20
+    profile_epochs = 1 if quick else 2
+
+    # -- raw emission cost: a tight append loop on one ring buffer
+    buffer = EventBuffer(capacity=256)
+    event = JobProgressEvent(
+        job_id="job-0000", phase="profiling", status="running",
+        runs_done=1, runs_total=16,
+    )
+    t0 = time.perf_counter()
+    for _ in range(APPEND_SAMPLES):
+        buffer.append(event)
+    per_append_s = (time.perf_counter() - t0) / APPEND_SAMPLES
+
+    # -- the same cold job, without and with a live subscriber
+    graph, task = _workload(quick)
+
+    def baseline():
+        return _serve_one(
+            graph,
+            task,
+            tmp_path / "plain",
+            budget=budget,
+            profile_epochs=profile_epochs,
+            watcher=False,
+        )
+
+    wall_plain, emitted, _ = run_once(baseline)
+    wall_watched, emitted_watched, seen = _serve_one(
+        graph,
+        task,
+        tmp_path / "watched",
+        budget=budget,
+        profile_epochs=profile_epochs,
+        watcher=True,
+    )
+
+    emission_share = emitted * per_append_s / wall_plain
+    ratio = wall_watched / wall_plain
+    emit()
+    emit(
+        f"emission: {per_append_s * 1e6:.2f}us/event x {emitted} events "
+        f"= {emission_share * 100:.3f}% of the {wall_plain:.2f}s job"
+    )
+    emit(
+        f"live subscriber: {wall_plain:.2f}s unwatched vs {wall_watched:.2f}s "
+        f"watched -> {ratio:.3f}x ({seen} events streamed)"
+    )
+
+    # both runs emitted the same stream (same cold store, same job)
+    assert emitted == emitted_watched
+    # the watcher saw the whole stream, terminal event included
+    assert seen == emitted
+    # the deterministic bound: emitting every event the job produced costs
+    # under 5% of its wall clock (in practice far under 1%)
+    assert emission_share < 0.05, (
+        f"event emission is {emission_share * 100:.1f}% of job wall clock"
+    )
+    # the wall-clock comparison carries noise tolerance on top of the 5%
+    # target; quick mode (seconds-long jobs) gets a wider band
+    bound = 1.35 if quick else 1.05
+    assert ratio <= bound, (
+        f"live subscriber cost {ratio:.2f}x (bound {bound}x): "
+        f"{wall_plain:.2f}s -> {wall_watched:.2f}s"
+    )

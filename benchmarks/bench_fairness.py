@@ -46,7 +46,7 @@ SPACE = DesignSpace(
 )
 
 
-def _workload():
+def _workload(chatty_jobs: int = CHATTY_JOBS):
     graph = powerlaw_community_graph(
         600,
         num_classes=5,
@@ -69,7 +69,7 @@ def _workload():
             tenant=CHATTY_TENANT,
             tag=CHATTY_TENANT,
         )
-        for i in range(CHATTY_JOBS)
+        for i in range(chatty_jobs)
     ]
     requests += [
         NavigationRequest(
@@ -120,8 +120,9 @@ def _percentiles(latencies: dict[str, list[float]]):
     }
 
 
-def test_fair_share_unstarves_quiet_tenants(run_once, emit):
-    graph, task, requests = _workload()
+def test_fair_share_unstarves_quiet_tenants(run_once, emit, quick):
+    chatty_jobs = 3 if quick else CHATTY_JOBS
+    graph, task, requests = _workload(chatty_jobs)
 
     def both_policies():
         return (
@@ -135,7 +136,7 @@ def test_fair_share_unstarves_quiet_tenants(run_once, emit):
 
     emit()
     emit(
-        f"skewed load: {CHATTY_JOBS} priority-9 jobs from '{CHATTY_TENANT}' "
+        f"skewed load: {chatty_jobs} priority-9 jobs from '{CHATTY_TENANT}' "
         f"vs 1 priority-0 job from each of {len(QUIET_TENANTS)} quiet tenants"
     )
     emit(f"{'tenant':<10} {'jobs':>4}  {'prio p50/p95 (s)':>18}  {'fair p50/p95 (s)':>18}")

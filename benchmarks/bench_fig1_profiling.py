@@ -14,8 +14,13 @@ import numpy as np
 from repro.experiments import render_table, run_fig1a, run_fig1b
 
 
-def test_fig1a_pagraph_tradeoff(run_once, emit):
-    points = run_once(lambda: run_fig1a(epochs=3))
+def test_fig1a_pagraph_tradeoff(run_once, emit, quick):
+    if quick:
+        points = run_once(
+            lambda: run_fig1a(epochs=1, cache_ratios=(0.0, 0.25, 0.75))
+        )
+    else:
+        points = run_once(lambda: run_fig1a(epochs=3))
 
     rows = [
         [
@@ -40,13 +45,14 @@ def test_fig1a_pagraph_tradeoff(run_once, emit):
 
     times = [p.epoch_time_ms for p in points]
     mems = [p.memory_mib for p in points]
-    assert all(t1 >= t2 for t1, t2 in zip(times, times[1:])), "time must fall"
     assert all(m1 <= m2 for m1, m2 in zip(mems, mems[1:])), "memory must rise"
-    assert speedup > 1.5
+    if not quick:  # single-epoch timings are too noisy for monotonicity
+        assert all(t1 >= t2 for t1, t2 in zip(times, times[1:])), "time must fall"
+        assert speedup > 1.5
 
 
-def test_fig1b_2pgraph_vs_pagraph(run_once, emit):
-    curves = run_once(lambda: run_fig1b(epochs=6))
+def test_fig1b_2pgraph_vs_pagraph(run_once, emit, quick):
+    curves = run_once(lambda: run_fig1b(epochs=2 if quick else 6))
 
     by_method = {c.method: c for c in curves}
     pa, twop = by_method["pagraph_low"], by_method["2pgraph"]
@@ -75,5 +81,8 @@ def test_fig1b_2pgraph_vs_pagraph(run_once, emit):
         f"2PGraph speedup {speedup:.2f}x (paper: 2.45x), "
         f"accuracy drop {drop * 100:.1f}pp (paper: ~3pp)"
     )
-    assert speedup > 1.5, "2PGraph must be clearly faster than constrained PaGraph"
-    assert drop > 0.0, "2PGraph trades accuracy for speed"
+    if not quick:  # two epochs of convergence cannot carry these bands
+        assert speedup > 1.5, (
+            "2PGraph must be clearly faster than constrained PaGraph"
+        )
+        assert drop > 0.0, "2PGraph trades accuracy for speed"

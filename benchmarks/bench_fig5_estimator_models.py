@@ -12,8 +12,15 @@ import numpy as np
 from repro.experiments import render_table, run_fig5
 
 
-def test_fig5_batch_size_models(run_once, emit):
-    result = run_once(lambda: run_fig5(target="reddit2"))
+def test_fig5_batch_size_models(run_once, emit, quick):
+    if quick:
+        result = run_once(
+            lambda: run_fig5(
+                target="reddit2", budget=16, epochs=2, with_augmentation=False
+            )
+        )
+    else:
+        result = run_once(lambda: run_fig5(target="reddit2"))
 
     order = np.argsort(result.measured)
     rows = [
@@ -42,6 +49,7 @@ def test_fig5_batch_size_models(run_once, emit):
     )
     emit("paper shape: gray-box points sit on the y=x line, black-box scatters")
 
-    assert result.r2_gray > 0.8, "gray-box must track measured sizes closely"
-    assert result.r2_gray > result.r2_black, "gray-box must beat the black box"
-    assert result.mean_rel_error_gray < result.mean_rel_error_black
+    if not quick:  # the un-augmented 16-record quick fold is too small
+        assert result.r2_gray > 0.8, "gray-box must track measured sizes closely"
+        assert result.r2_gray > result.r2_black, "gray-box must beat the black box"
+        assert result.mean_rel_error_gray < result.mean_rel_error_black

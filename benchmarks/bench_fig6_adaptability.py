@@ -13,8 +13,8 @@ from repro.experiments import render_table, run_fig6
 from repro.experiments.tasks import NAVIGATOR_MODES
 
 
-def test_fig6_guidelines_on_pareto_front(run_once, emit):
-    result = run_once(lambda: run_fig6(epochs=4))
+def test_fig6_guidelines_on_pareto_front(run_once, emit, quick):
+    result = run_once(lambda: run_fig6(epochs=2 if quick else 4))
 
     # Plane (a): epoch time vs memory.  Plane (b): memory vs accuracy.
     for plane_name, axes in [("time vs memory", (0, 1)), ("memory vs accuracy", (1, 2))]:
@@ -57,7 +57,8 @@ def test_fig6_guidelines_on_pareto_front(run_once, emit):
     # the plane-emphasising modes must additionally sit on their plane's
     # measured 2-D front (a 3-D front point may legitimately project off a
     # plane it does not prioritise).
-    for mode in NAVIGATOR_MODES:
-        assert result.guideline_nondominated(mode), f"{mode} dominated in 3-D"
-    assert result.guideline_on_front("ex_tm", (0, 1)), "Ex-TM off the T/Γ front"
-    assert result.guideline_on_front("ex_ma", (1, 2)), "Ex-MA off the Γ/Acc front"
+    if not quick:  # the half-epoch quick sweep blurs the measured fronts
+        for mode in NAVIGATOR_MODES:
+            assert result.guideline_nondominated(mode), f"{mode} dominated in 3-D"
+        assert result.guideline_on_front("ex_tm", (0, 1)), "Ex-TM off the T/Γ front"
+        assert result.guideline_on_front("ex_ma", (1, 2)), "Ex-MA off the Γ/Acc front"

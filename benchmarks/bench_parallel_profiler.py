@@ -27,9 +27,9 @@ NUM_CANDIDATES = 32
 NUM_WORKERS = 4
 
 
-def _workload():
+def _workload(quick: bool):
     graph = powerlaw_community_graph(
-        600,
+        300 if quick else 600,
         num_classes=5,
         feature_dim=16,
         min_degree=3,
@@ -39,20 +39,25 @@ def _workload():
         seed=42,
         name="bench-profiler",
     )
-    task = TaskSpec(dataset="bench-profiler", arch="sage", epochs=2, lr=0.02)
+    task = TaskSpec(
+        dataset="bench-profiler", arch="sage", epochs=1 if quick else 2, lr=0.02
+    )
     rng = np.random.default_rng(0)
-    configs = default_space().sample(NUM_CANDIDATES, rng=rng)
+    configs = default_space().sample(
+        8 if quick else NUM_CANDIDATES, rng=rng
+    )
     return task, configs, graph
 
 
-def test_parallel_fanout_matches_serial(run_once, emit):
-    task, configs, graph = _workload()
+def test_parallel_fanout_matches_serial(run_once, emit, quick):
+    task, configs, graph = _workload(quick)
+    num_workers = 2 if quick else NUM_WORKERS
 
     t0 = time.perf_counter()
     serial = run_once(lambda: profile_configs(task, configs, graph=graph))
     t_serial = time.perf_counter() - t0
 
-    service = ProfilingService(max_workers=NUM_WORKERS)
+    service = ProfilingService(max_workers=num_workers)
     t0 = time.perf_counter()
     parallel = service.profile(task, configs, graph=graph)
     t_parallel = time.perf_counter() - t0
@@ -60,23 +65,25 @@ def test_parallel_fanout_matches_serial(run_once, emit):
     speedup = t_serial / t_parallel
     emit()
     emit(
-        f"profiling {NUM_CANDIDATES} candidates: serial {t_serial:.2f}s, "
-        f"{NUM_WORKERS} workers {t_parallel:.2f}s -> {speedup:.2f}x "
+        f"profiling {len(configs)} candidates: serial {t_serial:.2f}s, "
+        f"{num_workers} workers {t_parallel:.2f}s -> {speedup:.2f}x "
         f"({os.cpu_count()} cores visible)"
     )
 
     assert parallel == serial, "parallel records must be bit-identical to serial"
-    if (os.cpu_count() or 1) >= NUM_WORKERS:
+    if quick:
+        pass  # pool startup dominates an 8-candidate batch; identity is the check
+    elif (os.cpu_count() or 1) >= num_workers:
         assert speedup >= 2.0, f"expected >=2x speedup, got {speedup:.2f}x"
     else:
         emit(
-            f"note: <{NUM_WORKERS} cores available; speedup assertion skipped "
+            f"note: <{num_workers} cores available; speedup assertion skipped "
             "(fan-out cannot beat serial without parallel hardware)"
         )
 
 
-def test_warm_cache_runs_nothing(run_once, emit, tmp_path):
-    task, configs, graph = _workload()
+def test_warm_cache_runs_nothing(run_once, emit, tmp_path, quick):
+    task, configs, graph = _workload(quick)
 
     cold = ProfilingService(cache_dir=tmp_path)
     t0 = time.perf_counter()

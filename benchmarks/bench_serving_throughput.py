@@ -38,9 +38,9 @@ SPACE = DesignSpace(
 )
 
 
-def _workload():
+def _workload(quick: bool):
     graph = powerlaw_community_graph(
-        1500,
+        500 if quick else 1500,
         num_classes=6,
         feature_dim=24,
         min_degree=3,
@@ -50,13 +50,15 @@ def _workload():
         seed=42,
         name="bench-serving",
     )
-    task = TaskSpec(dataset="bench-serving", arch="sage", epochs=2, lr=0.02)
+    task = TaskSpec(
+        dataset="bench-serving", arch="sage", epochs=1 if quick else 2, lr=0.02
+    )
     requests = [
         NavigationRequest(
             task=task,
             priorities=(priority,),
-            budget=BUDGET,
-            profile_epochs=3,
+            budget=8 if quick else BUDGET,
+            profile_epochs=1 if quick else 3,
             tag=f"tenant-{i}",
         )
         for i, priority in enumerate(PRIORITIES)
@@ -64,8 +66,8 @@ def _workload():
     return graph, task, requests
 
 
-def test_shared_serving_beats_serial_private(run_once, emit, tmp_path):
-    graph, task, requests = _workload()
+def test_shared_serving_beats_serial_private(run_once, emit, tmp_path, quick):
+    graph, task, requests = _workload(quick)
 
     # -- serial baseline: each tenant is a fresh navigator, cold private cache
     def serial():
@@ -85,7 +87,7 @@ def test_shared_serving_beats_serial_private(run_once, emit, tmp_path):
         return reports
 
     t0 = time.perf_counter()
-    serial_reports = run_once(serial)
+    run_once(serial)
     t_serial = time.perf_counter() - t0
 
     # -- served: one shared store, overlapping samples measured once
@@ -125,10 +127,11 @@ def test_shared_serving_beats_serial_private(run_once, emit, tmp_path):
     # the fold was measured once, not NUM_TENANTS times
     assert stats.executed == results[0].report.num_ground_truth
     assert stats.executed < total_candidates
-    assert speedup >= 2.0, (
-        f"expected >=2x from cross-tenant amortization, got {speedup:.2f}x "
-        f"(serial {t_serial:.2f}s vs shared {t_shared:.2f}s)"
-    )
+    if not quick:  # seconds-long quick jobs put startup cost in the ratio
+        assert speedup >= 2.0, (
+            f"expected >=2x from cross-tenant amortization, got {speedup:.2f}x "
+            f"(serial {t_serial:.2f}s vs shared {t_shared:.2f}s)"
+        )
     # same task + seed => identical ground truth behind every tenant's fit
     assert all(
         r.report.num_ground_truth == results[0].report.num_ground_truth

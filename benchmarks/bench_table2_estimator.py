@@ -10,8 +10,13 @@ from __future__ import annotations
 from repro.experiments import render_table2, run_table2
 
 
-def test_table2_estimator_precision(run_once, emit):
-    results = run_once(lambda: run_table2())
+def test_table2_estimator_precision(run_once, emit, quick):
+    if quick:
+        results = run_once(
+            lambda: run_table2(budget=16, epochs=2, with_augmentation=False)
+        )
+    else:
+        results = run_once(lambda: run_table2())
 
     emit()
     emit(render_table2(results))
@@ -21,6 +26,9 @@ def test_table2_estimator_precision(run_once, emit):
     )
 
     for r in results:
+        if quick:  # the 16-record un-augmented fold cannot carry R2 bands
+            assert r.mse_accuracy < 0.5, f"{r.dataset}: accuracy MSE degenerate"
+            continue
         assert r.r2_time > 0.5, f"{r.dataset}: time estimation too weak"
         assert r.r2_memory > 0.5, f"{r.dataset}: memory estimation too weak"
         assert r.mse_accuracy < 0.05, f"{r.dataset}: accuracy MSE too high"

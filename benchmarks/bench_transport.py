@@ -46,9 +46,9 @@ SPACE = DesignSpace(
 )
 
 
-def _workload():
+def _workload(quick: bool):
     graph = powerlaw_community_graph(
-        900,
+        400 if quick else 900,
         num_classes=5,
         feature_dim=16,
         min_degree=3,
@@ -100,8 +100,9 @@ def _navigate_all(make_client, task):
     return results
 
 
-def test_remote_throughput_within_2x_of_inprocess(run_once, emit, tmp_path):
-    graph, task = _workload()
+def test_remote_throughput_within_2x_of_inprocess(run_once, emit, tmp_path, quick):
+    graph, task = _workload(quick)
+    status_calls = 50 if quick else STATUS_CALLS
 
     # -- in-process baseline: same fan-out, clients share the process
     server = _server(graph, task, tmp_path / "inprocess")
@@ -136,14 +137,14 @@ def test_remote_throughput_within_2x_of_inprocess(run_once, emit, tmp_path):
         )
         handle.result(timeout=600)
         t0 = time.perf_counter()
-        for _ in range(STATUS_CALLS):
+        for _ in range(status_calls):
             handle.status  # noqa: B018 — the property does the round trip
-        http_call_s = (time.perf_counter() - t0) / STATUS_CALLS
+        http_call_s = (time.perf_counter() - t0) / status_calls
         job_id = handle.job_id
         t0 = time.perf_counter()
-        for _ in range(STATUS_CALLS):
+        for _ in range(status_calls):
             server.snapshot(job_id)
-        local_call_s = (time.perf_counter() - t0) / STATUS_CALLS
+        local_call_s = (time.perf_counter() - t0) / status_calls
     remote_executed = server.stats.executed
     server.stop()
 
@@ -171,10 +172,13 @@ def test_remote_throughput_within_2x_of_inprocess(run_once, emit, tmp_path):
         assert (
             remote.report.num_ground_truth == local.report.num_ground_truth
         )
-    # the acceptance bound: HTTP within 2x of in-process for real jobs
-    assert ratio <= 2.0, (
-        f"HTTP transport cost {ratio:.2f}x over in-process "
-        f"(local {t_local:.2f}s vs remote {t_remote:.2f}s)"
-    )
-    # a single long-poll round trip stays interactive
-    assert http_call_s < 0.05, f"status round trip took {http_call_s * 1e3:.1f}ms"
+    if not quick:  # sub-second quick jobs put poll latency in the ratio
+        # the acceptance bound: HTTP within 2x of in-process for real jobs
+        assert ratio <= 2.0, (
+            f"HTTP transport cost {ratio:.2f}x over in-process "
+            f"(local {t_local:.2f}s vs remote {t_remote:.2f}s)"
+        )
+        # a single long-poll round trip stays interactive
+        assert http_call_s < 0.05, (
+            f"status round trip took {http_call_s * 1e3:.1f}ms"
+        )

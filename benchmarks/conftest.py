@@ -5,11 +5,33 @@ whole experiments (minutes, not microseconds), so every bench runs exactly
 once via ``benchmark.pedantic(..., rounds=1, iterations=1)`` and prints the
 paper-shaped output.  Ground-truth profiling records are cached under
 ``.cache/`` (see ``repro.experiments.cache``) and shared between benches.
+
+``--quick`` runs every bench in smoke mode: the same code paths on a
+fraction of the workload (fewer epochs, smaller budgets), with the
+noise-sensitive performance assertions relaxed.  CI's bench-smoke job runs
+``pytest benchmarks/bench_*.py --quick --benchmark-json=...`` so a bench
+that bit-rots fails a PR even though the full runs are manual.
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks on reduced workloads with perf assertions "
+        "relaxed (the CI bench-smoke mode)",
+    )
+
+
+@pytest.fixture()
+def quick(request) -> bool:
+    """Whether this bench run is the reduced CI smoke mode."""
+    return request.config.getoption("--quick")
 
 
 @pytest.fixture()

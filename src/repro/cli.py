@@ -7,8 +7,10 @@ Commands
                network mode (``--port``) exposing the HTTP transport
 ``submit``     submit request(s) to a remote ``repro serve --port`` server
 ``poll``       poll/await remote jobs by id
+``watch``      stream a remote job's live progress events until terminal
 ``cancel``     cancel remote jobs by id
 ``stats``      print a remote server's profiling/store/job counters
+``metrics``    print a remote server's raw metrics registry scrape
 ``templates``  run the baseline system templates on a task
 ``datasets``   list the synthetic dataset zoo with statistics
 """
@@ -211,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="block for every submitted job's result before exiting",
     )
     submit.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream each job's live progress events (implies --wait)",
+    )
+    submit.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -233,6 +240,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --wait: seconds to wait per job (default: forever)",
     )
 
+    watch = add_remote(
+        sub.add_parser(
+            "watch",
+            help="stream live progress of remote jobs (one line per event) "
+            "until each job's stream ends",
+        )
+    )
+    watch.add_argument("job_ids", nargs="+", metavar="JOB_ID")
+    watch.add_argument(
+        "--since",
+        type=_nonnegative_int,
+        default=0,
+        help="resume the stream from this event sequence number "
+        "(a previous watch's last printed seq + 1)",
+    )
+
     cancel = add_remote(
         sub.add_parser("cancel", help="cancel remote jobs by id")
     )
@@ -241,6 +264,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_remote(
         sub.add_parser(
             "stats", help="print a remote server's profiling/store counters"
+        )
+    )
+
+    add_remote(
+        sub.add_parser(
+            "metrics",
+            help="print a remote server's metrics registry (name value "
+            "per line, counters and gauges)",
         )
     )
 
@@ -427,6 +458,15 @@ def _print_outcome(client, job_id: str, timeout: float | None) -> bool:
     return True
 
 
+def _follow(client, job_id: str, since: int = 0) -> bool:
+    """Stream one job's events to stdout; True when it ended DONE."""
+    last = None
+    for event in client.watch(job_id, since=since):
+        print(f"  #{event.seq} {event.describe()}", flush=True)
+        last = event
+    return last is not None and last.status == "done"
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     client = _remote_client(args)
     if args.jobs is not None:
@@ -456,7 +496,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         ]
     for handle in handles:
         print(f"submitted {handle.job_id}")
-    if not args.wait:
+    if args.follow:
+        # live progress first, then the one-line outcome per job (the
+        # result is already terminal once the stream ends, so the
+        # outcome print below returns immediately).
+        for handle in handles:
+            _follow(client, handle.job_id)
+    elif not args.wait:
         return 0
     ok = [_print_outcome(client, h.job_id, args.timeout) for h in handles]
     return 0 if all(ok) else 1
@@ -481,11 +527,28 @@ def _cmd_poll(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    client = _remote_client(args)
+    ok = True
+    for job_id in args.job_ids:
+        ok = _follow(client, job_id, since=args.since) and ok
+    return 0 if ok else 1
+
+
 def _cmd_cancel(args: argparse.Namespace) -> int:
     client = _remote_client(args)
     for job_id in args.job_ids:
         taken = client.cancel(job_id)
         print(f"{job_id} {'cancelled' if taken else 'not cancellable'}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    snapshot = _remote_client(args).metrics()
+    width = max((len(name) for name in snapshot), default=0)
+    for name, value in snapshot.items():
+        text = f"{value:g}" if isinstance(value, float) else str(value)
+        print(f"{name:<{width}}  {text}")
     return 0
 
 
@@ -573,10 +636,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_submit(args)
     if args.command == "poll":
         return _cmd_poll(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "cancel":
         return _cmd_cancel(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "templates":
         return _cmd_templates(args)
     return _cmd_datasets()

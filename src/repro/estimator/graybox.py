@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config.settings import TaskSpec, TrainingConfig
+from repro.config.settings import TrainingConfig
 from repro.errors import EstimatorError
 from repro.estimator.accuracy import AccuracyModel
 from repro.estimator.batchsize import BlackBoxBatchSizeModel, GrayBoxBatchSizeModel

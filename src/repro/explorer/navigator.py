@@ -66,6 +66,7 @@ class GNNavigator:
         cache_dir: str | None = None,
         profiler=None,
         cancel=None,
+        progress=None,
     ) -> None:
         if profile_budget < 8:
             raise ExplorationError("profile_budget must be at least 8")
@@ -89,12 +90,21 @@ class GNNavigator:
         #: where it is polled between candidate training runs — the serving
         #: layer's cooperative RUNNING-job cancellation rides this seat.
         self.cancel = cancel
+        #: optional progress sink ``progress(phase, **fields)``, threaded
+        #: alongside ``cancel``: phase transitions and per-candidate Step-2
+        #: profiling completions are reported through it — the serving
+        #: layer's live job-event streaming rides this seat.
+        self.progress = progress
         self.estimator: GrayBoxEstimator | None = None
         self.records: list[GroundTruthRecord] = []
 
     def _checkpoint(self) -> None:
         if self.cancel is not None:
             self.cancel.raise_if_cancelled()
+
+    def _emit(self, phase: str, **fields) -> None:
+        if self.progress is not None:
+            self.progress(phase, **fields)
 
     # ------------------------------------------------------------ step 2a/2b
     def fit_estimator(
@@ -128,8 +138,27 @@ class GNNavigator:
                 train_frac=self.task.train_frac,
                 val_frac=self.task.val_frac,
             )
+            if self.progress is None:
+                on_progress = None
+            else:
+                # Both profiling front-ends report once immediately (the
+                # cache-scan state), so no separate phase-entry event is
+                # needed here.
+                def on_progress(done, total, hits):
+                    self._emit(
+                        "profiling",
+                        batch_index=done,
+                        runs_done=done,
+                        runs_total=total,
+                        cache_hits=hits,
+                    )
+
             if self.profiler is not None:
+                # Optional seats are passed only when occupied so duck-typed
+                # profiler stand-ins without these kwargs keep working.
                 kwargs = {} if self.cancel is None else {"cancel": self.cancel}
+                if on_progress is not None:
+                    kwargs["on_progress"] = on_progress
                 records = self.profiler.profile(
                     profile_task, sample, graph=self.graph, **kwargs
                 )
@@ -141,6 +170,7 @@ class GNNavigator:
                     workers=workers if workers is not None else self.workers,
                     cache_dir=cache_dir if cache_dir is not None else self.cache_dir,
                     cancel=self.cancel,
+                    on_progress=on_progress,
                 )
         self.records = list(records)
         self.estimator = GrayBoxEstimator(
@@ -160,6 +190,7 @@ class GNNavigator:
         if self.estimator is None:
             self.fit_estimator()
         self._checkpoint()
+        self._emit("exploring")
         explorer = DFSExplorer(self.space, self.estimator, self.profile, self.platform)
         result = explorer.explore(
             constraint=constraint,
@@ -171,6 +202,11 @@ class GNNavigator:
             get_target(p) for p in (priorities or sorted(PRIORITY_PRESETS))
         ]
         guidelines = decision.choose_all(targets)
+        self._emit(
+            "explored",
+            best_objective=guidelines[targets[0].name].score,
+            message=f"{result.evaluated} candidates evaluated",
+        )
         return NavigatorReport(
             task=self.task,
             guidelines=guidelines,
@@ -183,6 +219,7 @@ class GNNavigator:
     def apply(self, guideline: Guideline | TrainingConfig) -> PerfReport:
         """Train with a guideline on the runtime backend; measured Perf."""
         self._checkpoint()
+        self._emit("training")
         config = (
             guideline.config if isinstance(guideline, Guideline) else guideline
         )

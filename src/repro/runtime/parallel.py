@@ -567,6 +567,7 @@ class ProfilingService:
         progress: bool = False,
         cancel: CancellationToken | None = None,
         keys: list | None = None,
+        on_run=None,
     ) -> list[GroundTruthRecord]:
         """Run the unique pending candidates, serially or across the pool.
 
@@ -586,6 +587,12 @@ class ProfilingService:
         goes: each completed record is :meth:`commit`-ted immediately, so
         an aborted batch keeps every training run it finished — waiters and
         later callers serve them from memory/store instead of re-measuring.
+
+        ``on_run(completed)`` fires after every collected record with the
+        count of runs this call has finished — the progress-event seat the
+        serving layer plugs live job streaming into.  It runs on the
+        calling thread and must not raise (a raising callback aborts the
+        batch exactly like a cancellation would).
         """
         if not configs:
             return []
@@ -645,6 +652,8 @@ class ProfilingService:
                 if keys is not None:
                     self.commit(keys[i], record)
                 self.stats.bump("executed")
+                if on_run is not None:
+                    on_run(i + 1)
                 if progress and (i + 1) % 10 == 0:
                     print(f"profiled {i + 1}/{len(configs)} candidates")
         finally:
@@ -661,6 +670,7 @@ class ProfilingService:
         graph: CSRGraph | None = None,
         progress: bool = False,
         cancel: CancellationToken | None = None,
+        on_progress=None,
     ) -> list[GroundTruthRecord]:
         """Measure every candidate, returning one record per input config.
 
@@ -671,6 +681,12 @@ class ProfilingService:
         :class:`~repro.errors.JobCancelled`; candidates that completed
         before the abort are already committed, so a cancelled call wastes
         no finished training run.
+
+        ``on_progress(runs_done, runs_total, cache_hits)`` fires with
+        cumulative counts for *this call* — once after the cache scan and
+        again after every training run — so a subscriber sees both the
+        instant cache fill and the slow measured tail.  Counts are over
+        unique candidates (duplicates fold before they are counted).
         """
         graph = graph if graph is not None else load_dataset(task.dataset)
 
@@ -692,6 +708,12 @@ class ProfilingService:
             pending.append(config.canonical())
             pending_keys.append(key)
 
+        on_run = None
+        if on_progress is not None:
+            total, hits = len(seen), len(results)
+            on_progress(hits, total, hits)
+            on_run = lambda done: on_progress(hits + done, total, hits)  # noqa: E731
+
         fresh = self._execute(
             task,
             pending,
@@ -699,6 +721,7 @@ class ProfilingService:
             progress=progress,
             cancel=cancel,
             keys=pending_keys,  # _execute commits each record as it lands
+            on_run=on_run,
         )
         for key, record in zip(pending_keys, fresh):
             results[key] = record

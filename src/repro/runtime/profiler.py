@@ -106,19 +106,26 @@ def profile_configs(
     workers: int | None = None,
     cache_dir: str | None = None,
     cancel=None,
+    on_progress=None,
 ) -> list[GroundTruthRecord]:
     """Execute every candidate on the backend (the Fig. 6 protocol).
 
     Thin wrapper over :class:`~repro.runtime.parallel.ProfilingService`:
     ``workers`` fans the runs out across processes, ``cache_dir`` persists
-    results so repeat profiling is free, and ``cancel`` (a
+    results so repeat profiling is free, ``cancel`` (a
     :class:`~repro.runtime.parallel.CancellationToken`) aborts between
-    candidate runs.  Output is identical to the
+    candidate runs, and ``on_progress(runs_done, runs_total, cache_hits)``
+    streams per-candidate completion.  Output is identical to the
     one-:func:`profile_one`-per-config serial loop for the same seed.
     """
     from repro.runtime.parallel import ProfilingService
 
     service = ProfilingService(max_workers=workers, cache_dir=cache_dir)
     return service.profile(
-        task, configs, graph=graph, progress=progress, cancel=cancel
+        task,
+        configs,
+        graph=graph,
+        progress=progress,
+        cancel=cancel,
+        on_progress=on_progress,
     )

@@ -9,6 +9,8 @@ measurement a one-time cost across all tenants.
 """
 
 from repro.serving.client import JobHandle, NavigationClient
+from repro.serving.events import EventBatch, EventBuffer, JobProgressEvent
+from repro.serving.metrics import MetricsRegistry
 from repro.serving.queue import PriorityJobQueue
 from repro.serving.scheduler import SharedProfilingService
 from repro.serving.server import NavigationServer
@@ -21,11 +23,15 @@ from repro.serving.types import (
 )
 
 __all__ = [
+    "EventBatch",
+    "EventBuffer",
     "Job",
     "JobHandle",
+    "JobProgressEvent",
     "JobResult",
     "JobSnapshot",
     "JobStatus",
+    "MetricsRegistry",
     "NavigationClient",
     "NavigationRequest",
     "NavigationServer",

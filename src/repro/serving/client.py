@@ -9,7 +9,10 @@ and cancel without the caller touching server internals.  Batch helpers
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.config.settings import TaskSpec
+from repro.serving.events import EventBatch, JobProgressEvent, watch_events
 from repro.serving.server import NavigationServer
 from repro.serving.types import (
     JobResult,
@@ -50,6 +53,21 @@ class JobHandle:
         """Block for the result; raises
         :class:`~repro.errors.JobFailedError` on FAILED jobs."""
         return self.server.result(self.job_id, timeout)
+
+    def events(
+        self, since: int = 0, timeout: float | None = None
+    ) -> EventBatch:
+        """One bounded read of the job's progress events (resume with the
+        returned ``next_seq``); same surface as ``RemoteJobHandle.events``."""
+        return self.server.events(self.job_id, since=since, timeout=timeout)
+
+    def watch(self, since: int = 0) -> Iterator[JobProgressEvent]:
+        """Stream progress events until the job's stream ends.
+
+        Ring-dropped stretches surface as an explicit gap-marker event;
+        iteration stops after the terminal event is delivered.
+        """
+        return watch_events(self.events, self.job_id, since=since)
 
     def cancel(self) -> bool:
         return self.server.cancel(self.job_id)

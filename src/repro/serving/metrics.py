@@ -1,0 +1,96 @@
+"""Server metrics: named counters and gauges behind one registry.
+
+The serving stack used to assemble its observability surface ad hoc — the
+transport's ``/v1/stats`` handler reached into ``ProfilingStats`` fields,
+the store, and a hand-rolled job census dict.  :class:`MetricsRegistry`
+replaces that: the server registers *counters* (monotonic, bumped at the
+moment the thing happens) and *gauges* (callables read at scrape time, so
+they are always current and cost nothing between scrapes), and every
+consumer — ``/v1/metrics``, ``/v1/stats``, the CLI — reads one
+:meth:`snapshot`.
+
+Counters and gauges share a flat namespace; registering a gauge under an
+existing counter name (or vice versa) is a programming error and raises.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Thread-safe flat registry of counters and gauges.
+
+    Counters are created on first :meth:`inc` (so emission sites never need
+    a registration phase) and only ever grow.  Gauges are registered once
+    with a zero-argument callable; a gauge that raises at scrape time
+    reports ``0`` rather than poisoning the whole snapshot — metrics must
+    never take the server down.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, Callable[[], float]] = {}
+
+    # ---------------------------------------------------------------- counters
+    def inc(self, name: str, n: int = 1) -> int:
+        """Add ``n`` to counter ``name`` (created at 0); returns the total."""
+        if n < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            if name in self._gauges:
+                raise ValueError(f"{name!r} is already a gauge")
+            total = self._counters.get(name, 0) + n
+            self._counters[name] = total
+            return total
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------ gauges
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register gauge ``name`` as a zero-argument read callable."""
+        with self._lock:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            self._gauges[name] = fn
+
+    # ---------------------------------------------------------------- scraping
+    def value(self, name: str) -> float:
+        """One metric by name — counter value or evaluated gauge."""
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name]
+            fn = self._gauges.get(name)
+        if fn is None:
+            raise KeyError(name)
+        return self._read(fn)
+
+    def snapshot(self) -> dict[str, float]:
+        """Every metric, name-sorted: counters as-is, gauges evaluated now.
+
+        Gauge callables run *outside* the registry lock — they may take
+        other locks (the store's, the server's) and must not serialize
+        against concurrent ``inc`` calls on the hot path.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+        out: dict[str, float] = dict(counters)
+        for name, fn in gauges.items():
+            out[name] = self._read(fn)
+        return dict(sorted(out.items()))
+
+    @staticmethod
+    def _read(fn: Callable[[], float]) -> float:
+        try:
+            value = fn()
+        except Exception:
+            return 0
+        return value if isinstance(value, (int, float)) else 0

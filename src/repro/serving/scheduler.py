@@ -58,6 +58,7 @@ class SharedProfilingService:
         graph: CSRGraph | None = None,
         progress: bool = False,
         cancel: CancellationToken | None = None,
+        on_progress=None,
     ) -> list[GroundTruthRecord]:
         """Measure every candidate, sharing work with concurrent callers.
 
@@ -70,6 +71,12 @@ class SharedProfilingService:
         cancelled caller always releases its claims (the ``_execute`` escape
         hatch below fires on *any* exception), so waiters re-claim and
         measure the abandoned keys themselves instead of hanging.
+
+        ``on_progress(runs_done, runs_total, cache_hits)`` streams this
+        call's cumulative resolution: candidates land from the memory/store
+        cache, from this job's own training runs, *and* from other jobs'
+        in-flight runs (those count as cache hits — the subscriber sees
+        work it did not pay for as cached).
         """
         svc = self.service
         graph = graph if graph is not None else load_dataset(task.dataset)
@@ -83,6 +90,19 @@ class SharedProfilingService:
                 continue
             remaining[key] = config.canonical()
 
+        total = len(remaining)
+        hits = 0
+        last_report: list = [None]
+
+        def report(extra_runs: int = 0) -> None:
+            if on_progress is None:
+                return
+            state = (len(results) + extra_runs, total, hits)
+            if state != last_report[0]:  # claim rounds that landed nothing
+                last_report[0] = state
+                on_progress(*state)
+
+        report()
         while remaining:
             if cancel is not None:
                 # Claim-round boundary: nothing is claimed right here, so
@@ -100,6 +120,7 @@ class SharedProfilingService:
                         svc.stats.bump("cache_hits")
                         results[key] = record
                         del remaining[key]
+                        hits += 1
                         continue
                     other = self._inflight.get(key)
                     if other is not None:
@@ -108,6 +129,7 @@ class SharedProfilingService:
                         event = threading.Event()
                         self._inflight[key] = event
                         mine[key] = remaining.pop(key)
+            report()
 
             # Store probe outside the lock: these keys are claimed, so no
             # concurrent job can be measuring or probing them.
@@ -122,6 +144,8 @@ class SharedProfilingService:
                         svc.stats.bump("cache_hits")
                         results[key] = record
                         self._inflight.pop(key).set()
+                    hits += 1
+                report()
 
             if mine:
                 try:
@@ -136,6 +160,7 @@ class SharedProfilingService:
                         progress=progress,
                         cancel=cancel,
                         keys=list(mine),
+                        on_run=report if on_progress is not None else None,
                     )
                 except BaseException:
                     # Release the claims so waiters re-claim instead of
@@ -163,13 +188,18 @@ class SharedProfilingService:
                 else:
                     while not event.wait(0.05):
                         cancel.raise_if_cancelled()
+                landed = False
                 with self._lock:
                     record = svc._memory.get(key)
                     if record is not None:
                         svc.stats.bump("shared_inflight")
                         results[key] = record
                         del remaining[key]
+                        hits += 1
+                        landed = True
                     # miss: the owner died before landing it — the key stays
                     # in ``remaining`` and the next round re-claims it.
+                if landed:
+                    report()
 
         return [results[key] for key in keys]

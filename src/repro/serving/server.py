@@ -35,6 +35,13 @@ from repro.explorer.navigator import GNNavigator
 from repro.graphs.csr import CSRGraph
 from repro.graphs.datasets import load_dataset
 from repro.runtime.parallel import ProfilingService, ProfilingStats, ResultStore
+from repro.serving.events import (
+    DEFAULT_POLL_SECONDS,
+    EventBatch,
+    EventBuffer,
+    JobProgressEvent,
+)
+from repro.serving.metrics import MetricsRegistry
 from repro.serving.queue import PriorityJobQueue
 from repro.serving.scheduler import SharedProfilingService
 from repro.serving.types import (
@@ -95,6 +102,12 @@ class NavigationServer:
         On-disk *byte* budget for the persistent store, same eviction
         policy; both budgets may be active at once.  Entries pinned via
         ``server.store.pin(key)`` survive eviction.
+    event_buffer:
+        Capacity of each job's progress-event ring buffer.  A slow (or
+        absent) subscriber never blocks the job: past the capacity the
+        oldest events are dropped, the drop is counted in
+        ``metrics["events_dropped"]``, and readers that fell behind see an
+        explicit gap instead of a silent skip.
     """
 
     def __init__(
@@ -112,10 +125,14 @@ class NavigationServer:
         max_inflight: int | None = None,
         store_budget: int | None = None,
         store_budget_bytes: int | None = None,
+        event_buffer: int = 256,
     ) -> None:
         if workers < 1:
             raise ServingError("a server needs at least one worker thread")
+        if event_buffer < 1:
+            raise ServingError("event_buffer must hold at least one event")
         self.workers = workers
+        self.event_buffer = event_buffer
         self.space = space
         self.service = ProfilingService(
             max_workers=profile_workers,
@@ -140,8 +157,44 @@ class NavigationServer:
         self._started_seq = 0
         self._threads: list[threading.Thread] = []
         self._stopping = False
+        self.metrics = MetricsRegistry()
+        self._register_gauges()
         if autostart:
             self.start()
+
+    def _register_gauges(self) -> None:
+        """Bind the live gauges; counters appear as events bump them."""
+        stats = self.service.stats
+        for name in (
+            "executed",
+            "cache_hits",
+            "deduplicated",
+            "shared_inflight",
+            "evictions",
+        ):
+            self.metrics.gauge(
+                f"profiling_{name}", lambda n=name: getattr(stats, n)
+            )
+        self.metrics.gauge(
+            "store_entries", lambda: 0 if self.store is None else len(self.store)
+        )
+        self.metrics.gauge(
+            "store_bytes", lambda: 0 if self.store is None else self.store.nbytes
+        )
+        self.metrics.gauge(
+            "store_pinned",
+            lambda: 0 if self.store is None else len(self.store.pinned),
+        )
+        self.metrics.gauge(
+            "jobs_pending", lambda: self._census(JobStatus.PENDING)
+        )
+        self.metrics.gauge(
+            "jobs_running", lambda: self._census(JobStatus.RUNNING)
+        )
+
+    def _census(self, status: JobStatus) -> int:
+        with self._lock:
+            return sum(1 for j in self._jobs.values() if j.status is status)
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -211,8 +264,18 @@ class NavigationServer:
                 request=request,
                 submitted_seq=self._next_id,
                 submitted_at=time.monotonic(),
+                events=EventBuffer(
+                    self.event_buffer,
+                    on_drop=lambda n: self.metrics.inc("events_dropped", n),
+                ),
             )
             self._jobs[job_id] = job
+            # Emitted under the lock: a concurrent stop()/cancel() takes
+            # the same lock to _finish() this PENDING job, so the terminal
+            # event can never be appended before (or instead of) 'queued'
+            # — the stream always starts 'queued' and ends terminal.
+            self.metrics.inc("jobs_submitted")
+            self._emit(job, "queued")
         try:
             self.queue.push(job_id, request.priority, request.tenant)
         except ServingError:
@@ -262,6 +325,39 @@ class NavigationServer:
         with self._terminal:
             self._terminal.wait_for(lambda: job.done, timeout)
             return job.snapshot()
+
+    def events(
+        self, job_id: str, since: int = 0, timeout: float | None = None
+    ) -> EventBatch:
+        """One bounded read of a job's progress-event stream.
+
+        Returns every retained event with ``seq >= since`` (blocking up to
+        ``timeout`` for the first new one), the ``next_seq`` to resume
+        from, the ``gap`` of ring-dropped events (0 = lossless), and
+        ``done`` once the job is terminal with everything delivered — the
+        long-poll primitive behind ``JobHandle.events`` and the
+        transport's ``/v1/jobs/<id>/events``.
+
+        ``timeout=None`` waits one default long-poll round
+        (:data:`~repro.serving.events.DEFAULT_POLL_SECONDS`), exactly like
+        the remote handle; pass ``timeout=0`` for a non-blocking probe.
+        """
+        if timeout is None:
+            timeout = DEFAULT_POLL_SECONDS
+        job = self._get(job_id)
+        # Sample terminality *before* reading: the terminal event is
+        # appended before the status flip, so ``done`` sampled True here
+        # guarantees the batch below contains (or already delivered) it.
+        job_done = job.done
+        try:
+            events, next_seq, gap = job.events.read(
+                since, timeout, done=lambda: job.done
+            )
+        except ValueError as exc:
+            raise ServingError(str(exc)) from None
+        return EventBatch(
+            events=events, next_seq=next_seq, gap=gap, done=job_done
+        )
 
     def job(self, job_id: str) -> Job:
         """Full bookkeeping record of a job (live object, read-only use)."""
@@ -363,10 +459,32 @@ class NavigationServer:
         with self._graph_lock:
             return self._graphs.setdefault(dataset, graph)
 
+    def _emit(self, job: Job, phase: str, *, status: JobStatus | None = None, **fields) -> None:
+        """Append one progress event to the job's ring (never blocks)."""
+        state = status if status is not None else job.status
+        job.events.append(
+            JobProgressEvent(
+                job_id=job.job_id,
+                phase=phase,
+                status=state.value,
+                elapsed_s=time.monotonic() - (job.submitted_at or time.monotonic()),
+                **fields,
+            )
+        )
+        self.metrics.inc("events_emitted")
+
     def _finish(self, job: Job, status: JobStatus) -> None:
-        """Move a job to a terminal state and wake the waiters (lock held)."""
+        """Move a job to a terminal state and wake the waiters (lock held).
+
+        The terminal event is appended *before* the status flip: any reader
+        that observes ``job.done`` is thereby guaranteed the terminal event
+        is already in the buffer, so an event batch can never report
+        ``done`` without having delivered the ending.
+        """
+        self._emit(job, status.value, status=status)
         job.status = status
         job.finished_at = time.monotonic()
+        self.metrics.inc(f"jobs_{status.value}")
         self._terminal.notify_all()
 
     def _worker_loop(self) -> None:
@@ -386,6 +504,7 @@ class NavigationServer:
                     job.started_seq = self._started_seq
                     job.started_at = time.monotonic()
                     self._started_seq += 1
+                    self._emit(job, "started")
                 try:
                     result = self._run(job)
                 except JobCancelled:
@@ -419,6 +538,7 @@ class NavigationServer:
             seed=request.seed,
             profiler=self.profiler,
             cancel=job.cancel_token,
+            progress=lambda phase, **fields: self._emit(job, phase, **fields),
         )
         report = navigator.explore(
             constraint=request.constraint,

@@ -27,9 +27,15 @@ import time
 import urllib.error
 import urllib.request
 import uuid
+from typing import Iterator
 
 from repro.config.settings import TaskSpec
 from repro.errors import ProtocolError, ServingError
+from repro.serving.events import (
+    EventBatch,
+    JobProgressEvent,
+    watch_events,
+)
 from repro.serving.transport.protocol import (
     API_PREFIX,
     IDEMPOTENCY_HEADER,
@@ -38,6 +44,8 @@ from repro.serving.transport.protocol import (
     TENANT_HEADER,
     CancelResponse,
     DrainResponse,
+    EventsResponse,
+    MetricsResponse,
     ResultResponse,
     StatsResponse,
     SubmitRequest,
@@ -77,6 +85,18 @@ class RemoteJobHandle:
         """Long-poll for the result; raises
         :class:`~repro.errors.JobFailedError` on FAILED jobs."""
         return self.client.result(self.job_id, timeout)
+
+    def events(
+        self, since: int = 0, timeout: float | None = None
+    ) -> EventBatch:
+        """One bounded read of the job's progress events (resume with the
+        returned ``next_seq``); same surface as the in-process handle."""
+        return self.client.events(self.job_id, since=since, timeout=timeout)
+
+    def watch(self, since: int = 0) -> Iterator[JobProgressEvent]:
+        """Stream progress events until the job's stream ends; survives
+        disconnects by resuming from the last delivered sequence number."""
+        return self.client.watch(self.job_id, since=since)
 
     def cancel(self) -> bool:
         return self.client.cancel(self.job_id)
@@ -305,6 +325,50 @@ class RemoteNavigationClient:
                 )
             return JobResult.from_dict(response.result)
 
+    def events(
+        self, job_id: str, since: int = 0, timeout: float | None = None
+    ) -> EventBatch:
+        """One long-poll round of a job's progress-event stream.
+
+        Mirrors ``NavigationServer.events`` exactly: events with
+        ``seq >= since`` (waiting up to ``timeout`` for the first new one,
+        capped server-side at ``MAX_POLL_SECONDS``), the ``next_seq`` to
+        resume from, the ring-drop ``gap``, and ``done`` once the stream
+        has ended.  Safe to retry: reading is idempotent.
+        """
+        if since < 0:
+            raise ServingError("since must be non-negative")
+        window = MAX_POLL_SECONDS if timeout is None else timeout
+        window = max(0.0, min(window, MAX_POLL_SECONDS))
+        payload = self._call(
+            "GET",
+            f"/jobs/{job_id}/events?since={since}&timeout={window:.3f}",
+            retry=True,
+            extra_timeout=window,
+        )
+        response = EventsResponse.from_wire(payload)
+        return EventBatch(
+            events=[JobProgressEvent.from_dict(e) for e in response.events],
+            next_seq=response.next_seq,
+            gap=response.gap,
+            done=response.done,
+        )
+
+    def watch(self, job_id: str, since: int = 0) -> Iterator[JobProgressEvent]:
+        """Stream a job's progress events until its stream ends.
+
+        Chained ``events`` rounds: each round resumes at the previous
+        ``next_seq``, so a dropped connection (the round retries) or a
+        recreated client loses nothing the server's ring still holds —
+        and anything the ring did drop surfaces as an explicit gap-marker
+        event rather than a silent skip.
+        """
+        return watch_events(
+            lambda since, timeout: self.events(job_id, since=since, timeout=timeout),
+            job_id,
+            since=since,
+        )
+
     def cancel(self, job_id: str) -> bool:
         """Cancel a job (PENDING drop / cooperative RUNNING cancel)."""
         payload = self._call("POST", f"/jobs/{job_id}/cancel")
@@ -342,6 +406,11 @@ class RemoteNavigationClient:
     def stats(self) -> StatsResponse:
         """Server-side profiling counters, store gauges and job census."""
         return StatsResponse.from_wire(self._call("GET", "/stats", retry=True))
+
+    def metrics(self) -> dict:
+        """One flat scrape of the server's metrics registry."""
+        payload = self._call("GET", "/metrics", retry=True)
+        return MetricsResponse.from_wire(payload).metrics
 
     def jobs(self) -> list[JobSnapshot]:
         """Every accepted job's snapshot, in submission order."""

@@ -64,6 +64,8 @@ __all__ = [
     "ResultResponse",
     "CancelResponse",
     "DrainResponse",
+    "EventsResponse",
+    "MetricsResponse",
     "StatsResponse",
 ]
 
@@ -342,6 +344,66 @@ class DrainResponse:
         return cls(
             done=bool(payload.get("done")), jobs=list(payload.get("jobs", []))
         )
+
+
+@dataclass(frozen=True)
+class EventsResponse:
+    """``GET /v1/jobs/<id>/events``: one long-poll round of the job's
+    progress-event stream.
+
+    ``events`` are :meth:`JobProgressEvent.to_dict` payloads in sequence
+    order; ``next_seq`` is the ``since=`` of the next round (resumption
+    across client disconnects rides this number); ``gap`` counts events
+    the server's ring buffer dropped before the first one returned; and
+    ``done`` means the stream has ended — the job is terminal and its
+    terminal event is in (or before) this batch, so the client stops
+    re-arming.
+    """
+
+    done: bool
+    next_seq: int
+    gap: int = 0
+    events: list[dict] = field(default_factory=list)
+
+    def to_wire(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "done": self.done,
+            "next_seq": self.next_seq,
+            "gap": self.gap,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "EventsResponse":
+        check_protocol(payload)
+        if "done" not in payload or "next_seq" not in payload:
+            raise ProtocolError("events response needs 'done' and 'next_seq'")
+        return cls(
+            done=bool(payload["done"]),
+            next_seq=int(payload["next_seq"]),
+            gap=int(payload.get("gap", 0)),
+            events=list(payload.get("events", [])),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsResponse:
+    """``GET /v1/metrics``: one flat name -> value scrape of the server's
+    :class:`~repro.serving.metrics.MetricsRegistry` (counters and gauges
+    share the namespace; gauges are evaluated at scrape time)."""
+
+    metrics: dict
+
+    def to_wire(self) -> dict:
+        return {"protocol": PROTOCOL_VERSION, "metrics": self.metrics}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "MetricsResponse":
+        check_protocol(payload)
+        if "metrics" not in payload:
+            raise ProtocolError("metrics response carries no 'metrics'")
+        return cls(metrics=dict(payload["metrics"]))
 
 
 @dataclass(frozen=True)

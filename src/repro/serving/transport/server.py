@@ -14,9 +14,11 @@ Endpoints (all under ``/v1``)::
     GET  /v1/jobs                       list job snapshots
     GET  /v1/jobs/<id>                  one job snapshot
     GET  /v1/jobs/<id>/result?timeout=  long-poll for the result
+    GET  /v1/jobs/<id>/events?since=&timeout=  long-poll the progress stream
     POST /v1/jobs/<id>/cancel           cancel (PENDING drop / RUNNING coop)
     POST /v1/drain?timeout=             long-poll until all jobs terminal
     GET  /v1/stats                      profiling counters + store gauges
+    GET  /v1/metrics                    flat MetricsRegistry scrape
 
 Long-polls wait server-side up to ``min(timeout, MAX_POLL_SECONDS)`` per
 round and return ``done=False`` for the client to re-arm, so a dead client
@@ -55,6 +57,8 @@ from repro.serving.transport.protocol import (
     TENANT_HEADER,
     CancelResponse,
     DrainResponse,
+    EventsResponse,
+    MetricsResponse,
     ResultResponse,
     StatsResponse,
     SubmitRequest,
@@ -130,6 +134,16 @@ class _Handler(BaseHTTPRequestHandler):
             raise ProtocolError("timeout must be non-negative")
         return min(timeout, MAX_POLL_SECONDS)
 
+    def _query_since(self, query: dict) -> int:
+        raw = query.get("since", ["0"])[0]
+        try:
+            since = int(raw)
+        except ValueError:
+            raise ProtocolError(f"invalid since {raw!r}") from None
+        if since < 0:
+            raise ProtocolError("since must be non-negative")
+        return since
+
     def _route(self) -> tuple[list[str], dict]:
         url = urlparse(self.path)
         if url.path != API_PREFIX and not url.path.startswith(API_PREFIX + "/"):
@@ -155,6 +169,10 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif parts == ["stats"]:
                 self._reply(200, self.server.transport._stats().to_wire())
+            elif parts == ["metrics"]:
+                self._reply(
+                    200, MetricsResponse(nav.metrics.snapshot()).to_wire()
+                )
             elif parts == ["jobs"]:
                 payload = {
                     "protocol": PROTOCOL_VERSION,
@@ -170,6 +188,21 @@ class _Handler(BaseHTTPRequestHandler):
                     parts[1], self._query_timeout(query)
                 )
                 self._reply(200, response.to_wire())
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                batch = nav.events(
+                    parts[1],
+                    since=self._query_since(query),
+                    timeout=self._query_timeout(query),
+                )
+                self._reply(
+                    200,
+                    EventsResponse(
+                        done=batch.done,
+                        next_seq=batch.next_seq,
+                        gap=batch.gap,
+                        events=[e.to_dict() for e in batch.events],
+                    ).to_wire(),
+                )
             else:
                 raise UnknownJobError(f"unknown endpoint {self.path!r}")
         except Exception as exc:  # noqa: BLE001 — every reply must be JSON
@@ -368,32 +401,40 @@ class NavigationHTTPServer:
         )
 
     def _stats(self) -> StatsResponse:
+        """The legacy ``/v1/stats`` shape, assembled from one registry scrape.
+
+        Everything here is a view over :attr:`NavigationServer.metrics` —
+        the registry is the single source, ``/v1/metrics`` is its raw
+        scrape, and this response is the backwards-compatible projection.
+        """
         nav = self.navigation
-        stats = nav.stats
-        store = nav.store
-        snapshots = nav.snapshots()
-        census: dict[str, int] = {}
-        for snapshot in snapshots:
-            census[snapshot.status.value] = (
-                census.get(snapshot.status.value, 0) + 1
-            )
+        snap = nav.metrics.snapshot()
+        census = {
+            "pending": int(snap.get("jobs_pending", 0)),
+            "running": int(snap.get("jobs_running", 0)),
+            "done": int(snap.get("jobs_done", 0)),
+            "failed": int(snap.get("jobs_failed", 0)),
+            "cancelled": int(snap.get("jobs_cancelled", 0)),
+        }
         return StatsResponse(
             profiling={
-                "executed": stats.executed,
-                "cache_hits": stats.cache_hits,
-                "deduplicated": stats.deduplicated,
-                "shared_inflight": stats.shared_inflight,
-                "evictions": stats.evictions,
+                name: int(snap.get(f"profiling_{name}", 0))
+                for name in (
+                    "executed",
+                    "cache_hits",
+                    "deduplicated",
+                    "shared_inflight",
+                    "evictions",
+                )
             },
-            store=(
-                {"entries": 0, "bytes": 0, "pinned": 0, "persistent": False}
-                if store is None
-                else {
-                    "entries": len(store),
-                    "bytes": store.nbytes,
-                    "pinned": len(store.pinned),
-                    "persistent": True,
-                }
-            ),
-            jobs={"total": len(snapshots), **census},
+            store={
+                "entries": int(snap.get("store_entries", 0)),
+                "bytes": int(snap.get("store_bytes", 0)),
+                "pinned": int(snap.get("store_pinned", 0)),
+                "persistent": nav.store is not None,
+            },
+            jobs={
+                "total": int(snap.get("jobs_submitted", 0)),
+                **{k: v for k, v in census.items() if v},
+            },
         )

@@ -35,6 +35,7 @@ from repro.graphs.profiling import GraphProfile
 from repro.hardware.memory import MemoryBreakdown
 from repro.runtime.parallel import CancellationToken
 from repro.runtime.report import EpochStats, PerfReport
+from repro.serving.events import EventBuffer
 
 __all__ = [
     "JobStatus",
@@ -410,6 +411,11 @@ class Job:
     #: and the job observes it at the next profiling-batch boundary.
     cancel_token: CancellationToken = field(
         default_factory=CancellationToken, repr=False, compare=False
+    )
+    #: bounded ring of this job's progress events (the server emits into
+    #: it; subscribers read by sequence number via ``server.events``).
+    events: EventBuffer = field(
+        default_factory=EventBuffer, repr=False, compare=False
     )
     # monotonic-clock timestamps (None until the event happens): completion
     # latency is finished_at - submitted_at, service time is
