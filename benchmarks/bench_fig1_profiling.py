@@ -45,9 +45,9 @@ def test_fig1a_pagraph_tradeoff(run_once, emit, quick):
 
     times = [p.epoch_time_ms for p in points]
     mems = [p.memory_mib for p in points]
-    assert all(m1 <= m2 for m1, m2 in zip(mems, mems[1:])), "memory must rise"
+    assert all(m1 <= m2 for m1, m2 in zip(mems, mems[1:], strict=False)), "memory must rise"
     if not quick:  # single-epoch timings are too noisy for monotonicity
-        assert all(t1 >= t2 for t1, t2 in zip(times, times[1:])), "time must fall"
+        assert all(t1 >= t2 for t1, t2 in zip(times, times[1:], strict=False)), "time must fall"
         assert speedup > 1.5
 
 

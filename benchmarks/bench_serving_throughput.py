@@ -122,7 +122,7 @@ def test_shared_serving_beats_serial_private(run_once, emit, tmp_path, quick):
 
     assert all(job.status.value == "done" for job in jobs)
     # every tenant got its own objective's guideline
-    for request, result in zip(requests, results):
+    for request, result in zip(requests, results, strict=True):
         assert set(result.guidelines) == set(request.priorities)
     # the fold was measured once, not NUM_TENANTS times
     assert stats.executed == results[0].report.num_ground_truth

@@ -165,7 +165,7 @@ def test_remote_throughput_within_2x_of_inprocess(run_once, emit, tmp_path, quic
     # both transports did the same (shared) profiling work
     assert local_executed == remote_executed
     for local, remote, priority in zip(
-        local_results, remote_results, PRIORITIES
+        local_results, remote_results, PRIORITIES, strict=True
     ):
         assert set(local.guidelines) == set(remote.guidelines) == {priority}
         # identical fold both sides: the transport changes nothing semantic

@@ -36,7 +36,7 @@ def main() -> None:
     )
 
     rows = []
-    for record, pred in zip(test_records, preds):
+    for record, pred in zip(test_records, preds, strict=True):
         rows.append(
             [
                 record.config.describe()[:46],

@@ -25,7 +25,7 @@ def main() -> None:
 
     print("Step 1-2: profiling design-space samples and exploring...")
     report = navigator.explore(priorities=["balance", "ex_tm"])
-    for name, guideline in report.guidelines.items():
+    for _name, guideline in report.guidelines.items():
         print(f"  {guideline.describe()}")
 
     print("\nStep 3: training with the balanced guideline...")

@@ -1,0 +1,85 @@
+"""Project-specific static analysis for the serving/runtime layers.
+
+``repro.analysis`` encodes the invariants the serving system lives by —
+lock discipline, a deadlock-free lock-acquisition order, no blocking work
+under a lock, wire-protocol round-tripping, and cancellation/progress
+plumbing — as AST checkers (stdlib ``ast`` only, no third-party deps).
+
+Run it as ``repro lint`` or ``python -m repro.analysis``.  Findings are
+typed (rule id, path:line, message, severity); the committed
+``analysis-baseline.json`` makes CI fail only on *new* findings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .baseline import load_baseline, render_baseline, split_findings
+from .core import (
+    RULES,
+    Collector,
+    Finding,
+    SourceModule,
+    build_project,
+    discover_files,
+)
+from .lockcheck import check_locks
+from .lockorder import LockOrderGraph, analyze_lock_order
+from .plumbing import check_plumbing
+from .report import AnalysisResult, render_json, render_text
+from .wirecheck import check_wire
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LockOrderGraph",
+    "AnalysisResult",
+    "run_analysis",
+    "default_root",
+    "default_paths",
+    "default_baseline_path",
+    "render_text",
+    "render_json",
+    "render_baseline",
+]
+
+
+def default_root() -> Path:
+    """Repository root inferred from this package's location."""
+    return Path(__file__).resolve().parents[3]
+
+
+def default_paths(root: Path) -> list[Path]:
+    return [root / "src" / "repro"]
+
+
+def default_baseline_path(root: Path) -> Path:
+    return root / "analysis-baseline.json"
+
+
+def run_analysis(
+    paths: list[Path],
+    root: Path,
+    baseline_path: Path | None = None,
+) -> AnalysisResult:
+    """Run every checker over ``paths`` and partition against the baseline."""
+    files = discover_files(paths)
+    modules = [SourceModule.load(path, root) for path in files]
+    project = build_project(modules)
+    collector = Collector()
+    check_locks(project, collector)
+    graph = analyze_lock_order(project, collector)
+    check_wire(project, collector)
+    check_plumbing(project, collector)
+    findings = sorted(collector.findings, key=lambda f: f.sort_key)
+    accepted = load_baseline(baseline_path)
+    new, baselined, stale = split_findings(findings, accepted)
+    return AnalysisResult(
+        findings=findings,
+        new=new,
+        baselined=baselined,
+        stale=stale,
+        suppressed=len(collector.suppressed),
+        files=len(files),
+        graph=graph,
+    )

@@ -1,0 +1,80 @@
+"""Baseline store: CI fails only on findings that are *new*.
+
+The committed ``analysis-baseline.json`` records accepted findings by
+fingerprint (rule + path + message, deliberately line-independent so
+unrelated edits don't churn it).  ``repro lint --fix-baseline`` rewrites
+the file deterministically — entries sorted by (path, rule, message),
+stable JSON formatting — so regenerating it never produces noisy diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "render_baseline",
+    "split_findings",
+]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path | None) -> dict[str, dict]:
+    """Accepted findings keyed by fingerprint; empty when absent."""
+    if path is None or not path.exists():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {
+        entry["fingerprint"]: entry
+        for entry in payload.get("findings", [])
+        if "fingerprint" in entry
+    }
+
+
+def render_baseline(findings: list[Finding]) -> str:
+    """Deterministic JSON text for the baseline file."""
+    unique = {finding.fingerprint: finding for finding in findings}
+    entries = sorted(
+        unique.values(),
+        key=lambda f: (f.path, f.rule, f.message, f.fingerprint),
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "note": (
+            "Accepted findings for `repro lint`; regenerate with "
+            "`repro lint --fix-baseline`. Entries match by fingerprint "
+            "(rule+path+message), so line drift does not invalidate them."
+        ),
+        "findings": [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in entries
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def split_findings(
+    findings: list[Finding], baseline: dict[str, dict]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Partition into (new, baselined) and list stale baseline entries."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        seen.add(finding.fingerprint)
+        if finding.fingerprint in baseline:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline) - seen)
+    return new, baselined, stale

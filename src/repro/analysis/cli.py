@@ -1,0 +1,121 @@
+"""Command-line front end for the analysis pass.
+
+Reached three ways, all sharing :func:`run_lint`:
+
+* ``repro lint`` — subcommand of the main CLI;
+* ``python -m repro.analysis`` — direct module entry;
+* the CI ``analysis`` job — ``repro lint --format json`` with the findings
+  and lock-order-graph report uploaded as artifacts.
+
+Exit status is 0 when no *new* (non-baselined, non-suppressed) findings
+fire, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import (
+    default_baseline_path,
+    default_paths,
+    default_root,
+    run_analysis,
+)
+from .baseline import render_baseline
+from .report import render_json, render_rules, render_text
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root for relative paths and the default baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: <root>/analysis-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report every finding as new",
+    )
+    parser.add_argument(
+        "--fix-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept all current findings",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--graph",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the lock-order graph report to PATH",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.rules:
+        sys.stdout.write(render_rules())
+        return 0
+    root = (args.root or default_root()).resolve()
+    paths = [path.resolve() for path in args.paths] or default_paths(root)
+    baseline_path: Path | None
+    if args.no_baseline:
+        baseline_path = None
+    else:
+        baseline_path = args.baseline or default_baseline_path(root)
+
+    result = run_analysis(paths, root, baseline_path=baseline_path)
+
+    if args.fix_baseline:
+        target = args.baseline or default_baseline_path(root)
+        target.write_text(render_baseline(result.findings), encoding="utf-8")
+        sys.stdout.write(
+            f"wrote {target} ({len(result.findings)} accepted finding(s))\n"
+        )
+        return 0
+
+    if args.graph is not None:
+        args.graph.parent.mkdir(parents=True, exist_ok=True)
+        args.graph.write_text(result.graph.render(), encoding="utf-8")
+
+    if args.format == "json":
+        sys.stdout.write(json.dumps(render_json(result), indent=2) + "\n")
+    else:
+        sys.stdout.write(render_text(result))
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="project-specific static analysis (see `--rules`)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

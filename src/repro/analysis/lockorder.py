@@ -1,0 +1,373 @@
+"""LOCK002: the cross-module lock-acquisition graph must stay acyclic.
+
+Two threads acquiring the same pair of locks in opposite orders is the
+classic deadlock; the serving layer avoids it by convention (server lock
+before queue lock, scheduler lock before stats lock, never the reverse).
+This checker turns the convention into a machine-checked invariant:
+
+1. every function is scanned once, recording which locks it acquires
+   directly (``with self.<lock>:``, canonicalized through ``Condition``
+   aliases) and which calls it makes while holding which locks — call
+   receivers are typed via :class:`~repro.analysis.core.TypeEnv`;
+2. a fixpoint propagates *may-acquire* sets through resolved calls, so an
+   edge is recorded even when the nested acquisition is two calls deep
+   (``cancel() -> queue.discard() -> with queue._lock``);
+3. the resulting directed graph — nodes are ``Class.attr`` locks — is
+   checked for cycles, and re-acquiring a non-reentrant lock already held
+   is flagged as a one-node cycle.
+
+The full graph (plus a topological order proving acyclicity) is emitted as
+a report artifact; unresolvable receivers simply contribute no edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .core import Collector, FunctionModel, Project, TypeEnv
+
+__all__ = ["LockNode", "LockEdge", "LockOrderGraph", "analyze_lock_order"]
+
+
+@dataclass(frozen=True, order=True)
+class LockNode:
+    cls: str
+    attr: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.cls}.{self.attr}"
+
+
+@dataclass
+class LockEdge:
+    """``src`` held while ``dst`` is acquired, with the first witness site."""
+
+    src: LockNode
+    dst: LockNode
+    path: str
+    line: int
+    via: str
+    count: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "src": self.src.label,
+            "dst": self.dst.label,
+            "path": self.path,
+            "line": self.line,
+            "via": self.via,
+            "sites": self.count,
+        }
+
+
+@dataclass
+class LockOrderGraph:
+    nodes: list[LockNode] = field(default_factory=list)
+    edges: list[LockEdge] = field(default_factory=list)
+    cycles: list[list[LockNode]] = field(default_factory=list)
+
+    @property
+    def acyclic(self) -> bool:
+        return not self.cycles
+
+    def topological_order(self) -> list[LockNode] | None:
+        """Kahn's algorithm over the edge set; ``None`` while cyclic."""
+        if not self.acyclic:
+            return None
+        indegree = {node: 0 for node in self.nodes}
+        adjacency: dict[LockNode, list[LockNode]] = {
+            node: [] for node in self.nodes
+        }
+        for edge in self.edges:
+            adjacency.setdefault(edge.src, []).append(edge.dst)
+            indegree.setdefault(edge.src, 0)
+            indegree[edge.dst] = indegree.get(edge.dst, 0) + 1
+        ready = sorted(node for node, deg in indegree.items() if deg == 0)
+        order: list[LockNode] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for nxt in adjacency.get(node, ()):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+                    ready.sort()
+        return order
+
+    def to_dict(self) -> dict:
+        return {
+            "locks": [node.label for node in self.nodes],
+            "edges": [edge.to_dict() for edge in self.edges],
+            "acyclic": self.acyclic,
+            "cycles": [
+                [node.label for node in cycle] for cycle in self.cycles
+            ],
+            "topological_order": [
+                node.label for node in self.topological_order() or []
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"lock-order graph: {len(self.nodes)} locks, "
+            f"{len(self.edges)} nested-acquisition edges",
+            "",
+            "locks:",
+        ]
+        lines.extend(f"  {node.label}" for node in self.nodes)
+        lines.append("")
+        lines.append("edges (held -> acquired):")
+        if not self.edges:
+            lines.append("  (none)")
+        for edge in self.edges:
+            plural = "site" if edge.count == 1 else "sites"
+            lines.append(
+                f"  {edge.src.label} -> {edge.dst.label}  "
+                f"[{edge.count} {plural}; first: {edge.path}:{edge.line} "
+                f"via {edge.via}]"
+            )
+        lines.append("")
+        if self.acyclic:
+            order = self.topological_order() or []
+            lines.append("cycles: none — the acquisition graph is acyclic")
+            if order:
+                lines.append(
+                    "safe acquisition order: "
+                    + " -> ".join(node.label for node in order)
+                )
+        else:
+            lines.append("cycles (deadlock potential):")
+            for cycle in self.cycles:
+                path = " -> ".join(node.label for node in cycle)
+                lines.append(f"  {path} -> {cycle[0].label}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+@dataclass
+class _FunctionScan:
+    """Raw facts from one pass over a function body."""
+
+    direct: set[LockNode] = field(default_factory=set)
+    #: (callee qualname, held locks, line, callee display name)
+    calls: list[tuple[str, frozenset[LockNode], int, str]] = field(
+        default_factory=list
+    )
+    #: (src, dst, line) for a literal ``with`` nested under a held lock.
+    nested_withs: list[tuple[LockNode, LockNode, int]] = field(
+        default_factory=list
+    )
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _scan_function(project: Project, func: FunctionModel) -> _FunctionScan:
+    scan = _FunctionScan()
+    env = TypeEnv(project, func)
+    cls = project.class_named(func.cls)
+    own_locks = cls.locks if cls is not None else {}
+    holds = ()
+    if cls is not None:
+        holds = cls.holds_methods.get(func.name, ())
+    initial = frozenset(
+        LockNode(cls.name, cls.canonical_lock(name)) for name in holds
+    ) if cls is not None else frozenset()
+
+    def walk(node: ast.AST, held: frozenset[LockNode]) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            env.record_assign(node)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                walk(item.context_expr, held)
+                attr = _self_attr(item.context_expr)
+                if attr is not None and attr in own_locks and cls is not None:
+                    dst = LockNode(cls.name, cls.canonical_lock(attr))
+                    acquired.add(dst)
+                    scan.direct.add(dst)
+                    for src in held:
+                        scan.nested_withs.append((src, dst, node.lineno))
+            inner = held | acquired
+            for stmt in node.body:
+                walk(stmt, inner)
+            return
+        if isinstance(node, ast.Call):
+            callee = project.resolve_call(node, env)
+            if callee is not None:
+                display = (
+                    f"{callee.cls}.{callee.name}"
+                    if callee.cls is not None
+                    else callee.name
+                )
+                scan.calls.append(
+                    (callee.qualname, held, node.lineno, display)
+                )
+        for child in ast.iter_child_nodes(node):
+            walk(child, held)
+
+    for stmt in func.node.body:
+        walk(stmt, initial)
+    return scan
+
+
+def _lock_kind(project: Project, node: LockNode) -> str:
+    cls = project.class_named(node.cls)
+    if cls is None or node.attr not in cls.locks:
+        return "lock"
+    return cls.locks[node.attr].kind
+
+
+def _find_cycles(
+    nodes: list[LockNode], adjacency: dict[LockNode, list[LockNode]]
+) -> list[list[LockNode]]:
+    """Distinct elementary cycles found by DFS (one witness per back edge)."""
+    cycles: list[list[LockNode]] = []
+    seen_keys: set[tuple[LockNode, ...]] = set()
+    color: dict[LockNode, int] = {}  # 0/absent=white, 1=on stack, 2=done
+    stack: list[LockNode] = []
+
+    def visit(node: LockNode) -> None:
+        color[node] = 1
+        stack.append(node)
+        for nxt in adjacency.get(node, ()):
+            state = color.get(nxt, 0)
+            if state == 0:
+                visit(nxt)
+            elif state == 1:
+                cycle = stack[stack.index(nxt):]
+                pivot = cycle.index(min(cycle))
+                canonical = tuple(cycle[pivot:] + cycle[:pivot])
+                if canonical not in seen_keys:
+                    seen_keys.add(canonical)
+                    cycles.append(list(canonical))
+        stack.pop()
+        color[node] = 2
+
+    for node in nodes:
+        if color.get(node, 0) == 0:
+            visit(node)
+    return cycles
+
+
+def analyze_lock_order(
+    project: Project, collector: Collector
+) -> LockOrderGraph:
+    scans: dict[str, _FunctionScan] = {}
+    functions: dict[str, FunctionModel] = {}
+    for models in project.functions.values():
+        for func in models:
+            functions[func.qualname] = func
+            scans[func.qualname] = _scan_function(project, func)
+
+    # Fixpoint: a function may acquire whatever it acquires directly plus
+    # whatever any resolved callee may acquire.
+    may: dict[str, set[LockNode]] = {
+        name: set(scan.direct) for name, scan in scans.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, scan in scans.items():
+            acquired = may[name]
+            before = len(acquired)
+            for callee, _, _, _ in scan.calls:
+                acquired |= may.get(callee, set())
+            if len(acquired) != before:
+                changed = True
+
+    edges: dict[tuple[LockNode, LockNode], LockEdge] = {}
+    reentries: list[tuple[LockNode, FunctionModel, int, str]] = []
+
+    def add_edge(
+        src: LockNode, dst: LockNode, func: FunctionModel, line: int, via: str
+    ) -> None:
+        if src == dst:
+            if _lock_kind(project, src) != "rlock":
+                reentries.append((src, func, line, via))
+            return
+        edge = edges.get((src, dst))
+        if edge is None:
+            edges[(src, dst)] = LockEdge(
+                src=src,
+                dst=dst,
+                path=func.module.relpath,
+                line=line,
+                via=via,
+            )
+        else:
+            edge.count += 1
+
+    for name, scan in scans.items():
+        func = functions[name]
+        for src, dst, line in scan.nested_withs:
+            add_edge(src, dst, func, line, f"with self.{dst.attr}")
+        for callee, held, line, display in scan.calls:
+            for dst in may.get(callee, ()):
+                for src in held:
+                    add_edge(src, dst, func, line, f"call to {display}()")
+
+    # Every base lock declared anywhere is a node, connected or not.
+    nodes: set[LockNode] = set()
+    for models in project.classes.values():
+        for cls in models:
+            for attr in cls.locks:
+                if cls.canonical_lock(attr) == attr:
+                    nodes.add(LockNode(cls.name, attr))
+    for (src, dst) in edges:
+        nodes.update((src, dst))
+
+    graph = LockOrderGraph(
+        nodes=sorted(nodes),
+        edges=sorted(edges.values(), key=lambda e: (e.src, e.dst)),
+    )
+    adjacency: dict[LockNode, list[LockNode]] = {}
+    for edge in graph.edges:
+        adjacency.setdefault(edge.src, []).append(edge.dst)
+    graph.cycles = _find_cycles(graph.nodes, adjacency)
+
+    for src, func, line, via in reentries:
+        collector.emit(
+            func.module,
+            line,
+            "LOCK002",
+            f"non-reentrant lock '{src.label}' may be re-acquired while "
+            f"already held ({via} in {func.qualname.split('::')[-1]})",
+        )
+    for cycle in graph.cycles:
+        witness = next(
+            (
+                edge
+                for edge in graph.edges
+                if edge.src == cycle[0]
+                and edge.dst == cycle[(1) % len(cycle)]
+            ),
+            graph.edges[0] if graph.edges else None,
+        )
+        path = " -> ".join(node.label for node in cycle)
+        module = None
+        line = 1
+        if witness is not None:
+            line = witness.line
+            for mod in project.modules:
+                if mod.relpath == witness.path:
+                    module = mod
+                    break
+        if module is None:
+            module = project.modules[0]
+        collector.emit(
+            module,
+            line,
+            "LOCK002",
+            f"lock-order cycle: {path} -> {cycle[0].label}",
+        )
+    return graph

@@ -1,0 +1,101 @@
+"""PLUMB001: cancellation/progress seats must be threaded through.
+
+The serving stack plumbs ``cancel`` (a :class:`CancellationToken`),
+``on_progress`` and ``on_run`` callbacks from the server down through
+``profile_configs`` into ``ProfilingService._execute``.  Dropping one of
+those seats in an intermediate call is the invariant-breaking bug this rule
+targets: the job keeps running after cancellation, or progress events stop
+flowing, with no error anywhere.
+
+A function that *accepts* a seat parameter must forward it whenever it
+calls a function that also explicitly accepts that seat.  Calls that splat
+``**kwargs`` are skipped (the seat may ride along inside), and callees are
+resolved through the shared type environment first, falling back to a
+unique simple-name match so module-local helpers resolve too.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Collector, FunctionModel, Project, TypeEnv
+
+__all__ = ["SEATS", "check_plumbing"]
+
+#: parameter names that carry cancellation/progress plumbing.
+SEATS = ("cancel", "on_progress", "on_run")
+
+
+def _resolve(
+    project: Project, env: TypeEnv, call: ast.Call
+) -> FunctionModel | None:
+    callee = project.resolve_call(call, env)
+    if callee is not None:
+        return callee
+    name = None
+    if isinstance(call.func, ast.Name):
+        name = call.func.id
+    elif isinstance(call.func, ast.Attribute):
+        name = call.func.attr
+    candidates = project.functions.get(name or "", [])
+    if len(candidates) == 1:
+        return candidates[0]
+    return None
+
+
+def _seat_passed(call: ast.Call, callee: FunctionModel, seat: str) -> bool:
+    if any(kw.arg is None for kw in call.keywords):
+        return True  # **kwargs may carry the seat; give it the benefit
+    if any(kw.arg == seat for kw in call.keywords):
+        return True
+    position = callee.keyword_position(seat)
+    return position is not None and len(call.args) > position
+
+
+def _check_function(
+    project: Project, func: FunctionModel, collector: Collector
+) -> None:
+    seats = [
+        seat
+        for seat in SEATS
+        if seat in func.params
+    ]
+    if not seats:
+        return
+    env = TypeEnv(project, func)
+    caller = f"{func.cls}.{func.name}" if func.cls else func.name
+
+    def walk(node: ast.AST) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            env.record_assign(node)
+        if isinstance(node, ast.Call):
+            callee = _resolve(project, env, node)
+            if callee is not None and callee.node is not func.node:
+                display = (
+                    f"{callee.cls}.{callee.name}"
+                    if callee.cls
+                    else callee.name
+                )
+                for seat in seats:
+                    if seat not in callee.params:
+                        continue
+                    if not _seat_passed(node, callee, seat):
+                        collector.emit(
+                            func.module,
+                            node.lineno,
+                            "PLUMB001",
+                            f"{caller}() accepts '{seat}' but drops it when "
+                            f"calling {display}(), which also accepts "
+                            f"'{seat}'",
+                        )
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    for stmt in func.node.body:
+        walk(stmt)
+
+
+def check_plumbing(project: Project, collector: Collector) -> None:
+    for models in project.functions.values():
+        for func in models:
+            _check_function(project, func, collector)

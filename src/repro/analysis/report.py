@@ -1,0 +1,84 @@
+"""Text and JSON emitters for analysis results.
+
+The text form is for humans at a terminal; the JSON form is the CI
+artifact (``repro lint --format json``) and includes the lock-order graph
+so the deadlock-freedom proof ships with every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .core import RULES, Finding
+from .lockorder import LockOrderGraph
+
+__all__ = ["AnalysisResult", "render_text", "render_json", "render_rules"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)  # all, sorted
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)  # baseline fingerprints
+    suppressed: int = 0
+    files: int = 0
+    graph: LockOrderGraph = field(default_factory=LockOrderGraph)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def render_text(result: AnalysisResult) -> str:
+    lines: list[str] = []
+    for finding in result.new:
+        lines.append(finding.render())
+    status = "clean" if result.ok else f"{len(result.new)} new finding(s)"
+    summary = (
+        f"repro lint: {status} — {result.files} files, "
+        f"{len(result.findings)} finding(s) total "
+        f"({len(result.baselined)} baselined, {result.suppressed} "
+        f"suppressed inline)"
+    )
+    lines.append(summary)
+    if result.stale:
+        lines.append(
+            f"note: {len(result.stale)} stale baseline entr(y/ies) no "
+            "longer fire; run `repro lint --fix-baseline` to drop them"
+        )
+    cycles = "acyclic" if result.graph.acyclic else (
+        f"{len(result.graph.cycles)} cycle(s)"
+    )
+    lines.append(
+        f"lock-order graph: {len(result.graph.nodes)} locks, "
+        f"{len(result.graph.edges)} edges, {cycles}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: AnalysisResult) -> dict:
+    return {
+        "ok": result.ok,
+        "files": result.files,
+        "summary": {
+            "total": len(result.findings),
+            "new": len(result.new),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "stale_baseline_entries": len(result.stale),
+        },
+        "findings": [finding.to_dict() for finding in result.new],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "stale": list(result.stale),
+        "lock_order": result.graph.to_dict(),
+    }
+
+
+def render_rules() -> str:
+    lines = ["rule catalog:"]
+    for rule, (severity, description) in sorted(RULES.items()):
+        lines.append(f"  {rule:9s} [{severity:7s}] {description}")
+    return "\n".join(lines) + "\n"

@@ -167,7 +167,7 @@ def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
     offsets = np.cumsum([0] + sizes)
 
     def backward(grad: np.ndarray) -> None:
-        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:], strict=True):
             idx = [slice(None)] * grad.ndim
             idx[axis] = slice(lo, hi)
             t._accumulate(grad[tuple(idx)])

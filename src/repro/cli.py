@@ -13,6 +13,7 @@ Commands
 ``metrics``    print a remote server's raw metrics registry scrape
 ``templates``  run the baseline system templates on a task
 ``datasets``   list the synthetic dataset zoo with statistics
+``lint``       run the project-specific static analysis pass
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ import argparse
 import json
 import sys
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.config import TaskSpec, get_template, template_names
 from repro.errors import ServingError
 from repro.experiments.tables import render_table
@@ -279,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
     tmpl.add_argument("--dataset", default="reddit2")
     tmpl.add_argument("--arch", default="sage", choices=["gcn", "sage", "gat"])
     tmpl.add_argument("--epochs", type=int, default=4)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-specific static analysis pass "
+        "(lock discipline, lock ordering, wire drift, plumbing)",
+    )
+    add_lint_arguments(lint)
 
     sub.add_parser("datasets", help="list the dataset zoo")
     return parser
@@ -646,6 +655,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args)
     if args.command == "templates":
         return _cmd_templates(args)
+    if args.command == "lint":
+        return run_lint(args)
     return _cmd_datasets()
 
 

@@ -93,7 +93,7 @@ class AccuracyModel:
         x = np.stack(
             [
                 accuracy_features(c, p, v, e)
-                for c, p, v, e in zip(configs, profiles, batch_nodes, batch_edges)
+                for c, p, v, e in zip(configs, profiles, batch_nodes, batch_edges, strict=True)
             ]
         )
         return np.clip(self._forest.predict(x), 0.0, 1.0)

@@ -92,10 +92,10 @@ class GrayBoxBatchSizeModel:
         if not (len(configs) == len(profiles) == measured.size):
             raise EstimatorError("configs, profiles and targets must align")
         x = np.stack(
-            [_correction_features(c, p) for c, p in zip(configs, profiles)]
+            [_correction_features(c, p) for c, p in zip(configs, profiles, strict=True)]
         )
         prior = np.array(
-            [analytic_batch_size(c, p) for c, p in zip(configs, profiles)]
+            [analytic_batch_size(c, p) for c, p in zip(configs, profiles, strict=True)]
         )
         residual = np.log(np.maximum(measured, 1.0)) - np.log(np.maximum(prior, 1.0))
         self._tree.fit(x, residual)
@@ -108,10 +108,10 @@ class GrayBoxBatchSizeModel:
         if not self._fitted:
             raise EstimatorError("predict() before fit()")
         x = np.stack(
-            [_correction_features(c, p) for c, p in zip(configs, profiles)]
+            [_correction_features(c, p) for c, p in zip(configs, profiles, strict=True)]
         )
         prior = np.array(
-            [analytic_batch_size(c, p) for c, p in zip(configs, profiles)]
+            [analytic_batch_size(c, p) for c, p in zip(configs, profiles, strict=True)]
         )
         correction = self._tree.predict(x)
         pred = prior * np.exp(correction)
@@ -138,7 +138,7 @@ class BlackBoxBatchSizeModel:
         profiles: list[GraphProfile],
         measured: np.ndarray,
     ) -> "BlackBoxBatchSizeModel":
-        x = np.stack([self._features(c, p) for c, p in zip(configs, profiles)])
+        x = np.stack([self._features(c, p) for c, p in zip(configs, profiles, strict=True)])
         self._tree.fit(x, np.asarray(measured, dtype=np.float64))
         self._fitted = True
         return self
@@ -148,5 +148,5 @@ class BlackBoxBatchSizeModel:
     ) -> np.ndarray:
         if not self._fitted:
             raise EstimatorError("predict() before fit()")
-        x = np.stack([self._features(c, p) for c, p in zip(configs, profiles)])
+        x = np.stack([self._features(c, p) for c, p in zip(configs, profiles, strict=True)])
         return self._tree.predict(x)

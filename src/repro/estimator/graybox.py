@@ -170,11 +170,11 @@ class GrayBoxEstimator:
         self._batch_model.fit(configs, profiles, measured_v)
         # Edges per node regress on degree/config features (log-ratio).
         xe = np.stack(
-            [self._edge_features(c, p) for c, p in zip(configs, profiles)]
+            [self._edge_features(c, p) for c, p in zip(configs, profiles, strict=True)]
         )
         self._edge_model.fit(xe, np.log(measured_e / np.maximum(measured_v, 1.0)))
         self._hit_model.fit(
-            np.stack([_hit_features(c, p) for c, p in zip(configs, profiles)]),
+            np.stack([_hit_features(c, p) for c, p in zip(configs, profiles, strict=True)]),
             measured_hit,
         )
 
@@ -206,12 +206,12 @@ class GrayBoxEstimator:
         v_hat = self._batch_model.predict(configs, profiles)
         e_hat = v_hat * np.exp(
             self._edge_model.predict(
-                np.stack([self._edge_features(c, p) for c, p in zip(configs, profiles)])
+                np.stack([self._edge_features(c, p) for c, p in zip(configs, profiles, strict=True)])
             )
         )
         hit_hat = np.clip(
             self._hit_model.predict(
-                np.stack([_hit_features(c, p) for c, p in zip(configs, profiles)])
+                np.stack([_hit_features(c, p) for c, p in zip(configs, profiles, strict=True)])
             ),
             0.0,
             1.0,
@@ -236,7 +236,8 @@ class GrayBoxEstimator:
                         c, p, get_platform(r.task.platform), v, e, h
                     )[phase]
                     for c, p, r, v, e, h in zip(
-                        configs, profiles, records, v_hat, e_hat, hit_hat
+                        configs, profiles, records, v_hat, e_hat, hit_hat,
+                        strict=True,
                     )
                 ]
             )
@@ -248,7 +249,7 @@ class GrayBoxEstimator:
         analytic_mem = np.array(
             [
                 self._analytic_memory(c, p, v, e)
-                for c, p, v, e in zip(configs, profiles, v_hat, e_hat)
+                for c, p, v, e in zip(configs, profiles, v_hat, e_hat, strict=True)
             ]
         )
         measured_mem = np.array([r.memory_bytes for r in records])
@@ -302,12 +303,12 @@ class GrayBoxEstimator:
         v_hat = self._batch_model.predict(configs, profiles)
         e_hat = v_hat * np.exp(
             self._edge_model.predict(
-                np.stack([self._edge_features(c, p) for c, p in zip(configs, profiles)])
+                np.stack([self._edge_features(c, p) for c, p in zip(configs, profiles, strict=True)])
             )
         )
         hit_hat = np.clip(
             self._hit_model.predict(
-                np.stack([_hit_features(c, p) for c, p in zip(configs, profiles)])
+                np.stack([_hit_features(c, p) for c, p in zip(configs, profiles, strict=True)])
             ),
             0.0,
             1.0,
@@ -315,7 +316,7 @@ class GrayBoxEstimator:
         acc_hat = self._acc_model.predict(configs, profiles, v_hat, e_hat)
 
         feats = np.stack(
-            [encode(c, p, platform) for c, p in zip(configs, profiles)]
+            [encode(c, p, platform) for c, p in zip(configs, profiles, strict=True)]
         )
         corrections = {
             phase: (
@@ -332,7 +333,7 @@ class GrayBoxEstimator:
         )
 
         out: list[PredictedPerf] = []
-        for i, (config, profile) in enumerate(zip(configs, profiles)):
+        for i, (config, profile) in enumerate(zip(configs, profiles, strict=True)):
             phases = self._analytic_phases(
                 config, profile, platform, v_hat[i], e_hat[i], hit_hat[i]
             )
@@ -408,14 +409,14 @@ class BlackBoxEstimator:
         if isinstance(platform, str):
             platform = get_platform(platform)
         feats = np.stack(
-            [encode(c.canonical(), p, platform) for c, p in zip(configs, profiles)]
+            [encode(c.canonical(), p, platform) for c, p in zip(configs, profiles, strict=True)]
         )
         times = np.exp(self._models["time"].predict(feats))
         mems = np.exp(self._models["memory"].predict(feats))
         accs = np.clip(self._models["accuracy"].predict(feats), 0.0, 1.0)
         return [
             PredictedPerf(time_s=float(t), memory_bytes=float(m), accuracy=float(a))
-            for t, m, a in zip(times, mems, accs)
+            for t, m, a in zip(times, mems, accs, strict=True)
         ]
 
     def predict_batch_sizes(self, configs, profiles) -> np.ndarray:

@@ -97,7 +97,7 @@ class LocalSearchExplorer:
                     neighbors = self.space.neighbors(current)
                     fresh = [n for n in neighbors if n not in visited]
                     if fresh:
-                        for cfg, pred in zip(fresh, self._predict(fresh)):
+                        for cfg, pred in zip(fresh, self._predict(fresh), strict=True):
                             visited[cfg] = pred
                     preds = [visited[n] for n in neighbors]
                     scores = self._scores(preds, target, constraint)

@@ -79,7 +79,7 @@ def model_costing(
     flops = 0.0
     bytes_moved = 0.0
     kernels = 0
-    for layer, (d_in, d_out) in enumerate(zip(dims_in, dims_out)):
+    for layer, (d_in, d_out) in enumerate(zip(dims_in, dims_out, strict=True)):
         if arch == "gat":
             if layer > 0:
                 d_in *= heads  # concatenated heads widen hidden inputs

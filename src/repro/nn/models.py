@@ -38,7 +38,7 @@ def count_parameters(
     dims_in = [in_features] + [hidden_channels] * (num_layers - 1)
     dims_out = [hidden_channels] * (num_layers - 1) + [num_classes]
     total = 0
-    for i, (d_in, d_out) in enumerate(zip(dims_in, dims_out)):
+    for i, (d_in, d_out) in enumerate(zip(dims_in, dims_out, strict=True)):
         last = i == num_layers - 1
         if arch == "gcn":
             total += d_in * d_out + d_out
@@ -82,7 +82,7 @@ class GNN(Module):
         layers: list[Module] = []
         dims_in = [in_features] + [hidden_channels] * (num_layers - 1)
         dims_out = [hidden_channels] * (num_layers - 1) + [num_classes]
-        for i, (d_in, d_out) in enumerate(zip(dims_in, dims_out)):
+        for i, (d_in, d_out) in enumerate(zip(dims_in, dims_out, strict=True)):
             last = i == num_layers - 1
             if arch == "gcn":
                 layers.append(GCNConv(d_in, d_out, rng=rng))

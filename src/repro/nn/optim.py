@@ -52,7 +52,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
+        for p, v in zip(self.params, self._velocity, strict=True):
             if p.grad is None:
                 continue
             if self.momentum:
@@ -91,7 +91,7 @@ class Adam(Optimizer):
         b1, b2 = self.betas
         bias1 = 1.0 - b1**self._t
         bias2 = 1.0 - b2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v in zip(self.params, self._m, self._v, strict=True):
             if p.grad is None:
                 continue
             grad = p.grad

@@ -204,12 +204,12 @@ class ResultStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._pinned: set[str] = set()
-        self._count = 0
-        self._bytes = 0
+        self._pinned: set[str] = set()  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._bytes = 0  # guarded-by: _lock
         self._recount()
 
-    def _recount(self) -> None:
+    def _recount(self) -> None:  # holds: _lock
         """Re-scan the directory into the count/byte counters (callers hold
         the lock, or are ``__init__`` before the store is shared)."""
         count = total = 0
@@ -364,10 +364,12 @@ class ResultStore:
     @property
     def nbytes(self) -> int:
         """On-disk bytes of every stored entry (this instance's view)."""
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def __len__(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
 
 # ------------------------------------------------------------------ workers
@@ -695,7 +697,7 @@ class ProfilingService:
         seen: set = set()
         pending: list[TrainingConfig] = []
         pending_keys: list = []
-        for key, config in zip(keys, configs):
+        for key, config in zip(keys, configs, strict=True):
             if key in seen:
                 self.stats.bump("deduplicated")
                 continue
@@ -723,7 +725,7 @@ class ProfilingService:
             keys=pending_keys,  # _execute commits each record as it lands
             on_run=on_run,
         )
-        for key, record in zip(pending_keys, fresh):
+        for key, record in zip(pending_keys, fresh, strict=True):
             results[key] = record
 
         return [results[key] for key in keys]

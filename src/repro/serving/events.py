@@ -168,9 +168,9 @@ class EventBuffer:
             raise ValueError("event buffer capacity must be at least 1")
         self.capacity = capacity
         self._on_drop = on_drop
-        self._events: deque[JobProgressEvent] = deque()
+        self._events: deque[JobProgressEvent] = deque()  # guarded-by: _cond
         self._cond = threading.Condition()
-        self._next_seq = 0
+        self._next_seq = 0  # guarded-by: _cond
 
     @property
     def next_seq(self) -> int:
@@ -190,7 +190,7 @@ class EventBuffer:
         with self._cond:
             return self._start_locked()
 
-    def _start_locked(self) -> int:
+    def _start_locked(self) -> int:  # holds: _cond
         return self._next_seq - len(self._events)
 
     def append(self, event: JobProgressEvent) -> JobProgressEvent:

@@ -33,8 +33,8 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: dict[str, int] = {}
-        self._gauges: dict[str, Callable[[], float]] = {}
+        self._counters: dict[str, int] = {}  # guarded-by: _lock
+        self._gauges: dict[str, Callable[[], float]] = {}  # guarded-by: _lock
 
     # ---------------------------------------------------------------- counters
     def inc(self, name: str, n: int = 1) -> int:

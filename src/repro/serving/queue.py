@@ -84,15 +84,15 @@ class PriorityJobQueue:
         # heapq is a min-heap: negate priority so larger runs first; the
         # monotonic sequence breaks ties in submission order (globally, so
         # priority mode is bit-identical to the old single-heap queue).
-        self._lanes: dict[str, list[tuple[int, int, str]]] = {}
-        self._tenant_of: dict[str, str] = {}  # queued job id -> its lane
-        self._discarded: set[str] = set()
-        self._inflight: dict[str, int] = {}
-        self._passes: dict[str, float] = {}  # stride-scheduling virtual time
-        self._vtime = 0.0  # pass consumed by the most recent fair pop
-        self._size = 0  # live (queued, not discarded) entries
-        self._seq = itertools.count()
-        self._closed = False
+        self._lanes: dict[str, list[tuple[int, int, str]]] = {}  # guarded-by: _lock
+        self._tenant_of: dict[str, str] = {}  # lane by queued id; guarded-by: _lock
+        self._discarded: set[str] = set()  # guarded-by: _lock
+        self._inflight: dict[str, int] = {}  # guarded-by: _lock
+        self._passes: dict[str, float] = {}  # stride virtual time; guarded-by: _lock
+        self._vtime = 0.0  # pass of the most recent fair pop; guarded-by: _lock
+        self._size = 0  # live (queued, not discarded) entries; guarded-by: _lock
+        self._seq = itertools.count()  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     # -------------------------------------------------------------- plumbing
     def _weight(self, tenant: str) -> int:
@@ -101,11 +101,11 @@ class PriorityJobQueue:
     def _quota(self, tenant: str) -> int | None:
         return self._quotas.get(tenant, self._max_inflight)
 
-    def _has_capacity(self, tenant: str) -> bool:
+    def _has_capacity(self, tenant: str) -> bool:  # holds: _lock
         quota = self._quota(tenant)
         return quota is None or self._inflight.get(tenant, 0) < quota
 
-    def _live_head(self, tenant: str) -> tuple[int, int, str] | None:
+    def _live_head(self, tenant: str) -> tuple[int, int, str] | None:  # holds: _lock
         """Top live entry of one lane, dropping discarded entries (lock held)."""
         heap = self._lanes[tenant]
         while heap and heap[0][2] in self._discarded:
@@ -114,7 +114,7 @@ class PriorityJobQueue:
             self._tenant_of.pop(dead, None)
         return heap[0] if heap else None
 
-    def _select(self) -> str | None:
+    def _select(self) -> str | None:  # holds: _lock
         """Pop and return the next runnable job id, or ``None`` (lock held)."""
         lanes: list[tuple[str, tuple[int, int, str]]] = []
         for tenant in list(self._lanes):
@@ -194,6 +194,9 @@ class PriorityJobQueue:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         return None
+                # A ``timeout=None`` pop waits unbounded by contract; it can
+                # never wedge shutdown because close() flips _closed and
+                # notify_all()s every waiter awake.
                 if not self._not_empty.wait(remaining):
                     return None
 
@@ -226,7 +229,8 @@ class PriorityJobQueue:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def __len__(self) -> int:
         with self._lock:

@@ -40,7 +40,7 @@ class SharedProfilingService:
     def __init__(self, service: ProfilingService) -> None:
         self.service = service
         self._lock = threading.Lock()
-        self._inflight: dict[object, threading.Event] = {}
+        self._inflight: dict[object, threading.Event] = {}  # guarded-by: _lock
 
     @property
     def stats(self):
@@ -84,7 +84,7 @@ class SharedProfilingService:
 
         results: dict = {}
         remaining: dict = {}  # key -> canonical config, insertion-ordered
-        for key, config in zip(keys, configs):
+        for key, config in zip(keys, configs, strict=True):
             if key in results or key in remaining:
                 svc.stats.bump("deduplicated")
                 continue
@@ -175,7 +175,7 @@ class SharedProfilingService:
                                 event.set()
                     raise
                 with self._lock:
-                    for key, record in zip(mine, fresh):
+                    for key, record in zip(mine, fresh, strict=True):
                         results[key] = record
                         self._inflight.pop(key).set()
 
@@ -184,6 +184,10 @@ class SharedProfilingService:
                 # abandons) this key; a cancelled waiter holds no claims, so
                 # bailing out here strands nobody.
                 if cancel is None:
+                    # Unbounded by design (and lock-free — see above): the
+                    # owning job always sets the event, even when it dies,
+                    # via the BaseException release path, so this wait
+                    # cannot outlive the claim it watches.
                     event.wait()
                 else:
                     while not event.wait(0.05):

@@ -148,15 +148,15 @@ class NavigationServer:
             "max_inflight": max_inflight,
         }
         self.queue = PriorityJobQueue(**self._queue_config)
-        self._graphs = dict(graphs or {})
+        self._graphs = dict(graphs or {})  # guarded-by: _graph_lock
         self._graph_lock = threading.Lock()
         self._lock = threading.Lock()
         self._terminal = threading.Condition(self._lock)
-        self._jobs: dict[str, Job] = {}
-        self._next_id = 0
-        self._started_seq = 0
+        self._jobs: dict[str, Job] = {}  # guarded-by: _lock
+        self._next_id = 0  # guarded-by: _lock
+        self._started_seq = 0  # guarded-by: _lock
         self._threads: list[threading.Thread] = []
-        self._stopping = False
+        self._stopping = False  # guarded-by: _lock
         self.metrics = MetricsRegistry()
         self._register_gauges()
         if autostart:
@@ -296,10 +296,13 @@ class NavigationServer:
 
     # ---------------------------------------------------------------- polling
     def _get(self, job_id: str) -> Job:
-        try:
-            return self._jobs[job_id]
-        except KeyError:
-            raise UnknownJobError(f"unknown job id {job_id!r}") from None
+        # Jobs are never removed from the table, but the dict itself may be
+        # rehashing under a concurrent submit — take the lock for the lookup.
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(f"unknown job id {job_id!r}") from None
 
     def status(self, job_id: str) -> JobStatus:
         """Current lifecycle state of a job."""
@@ -492,7 +495,8 @@ class NavigationServer:
             job_id = self.queue.pop()
             if job_id is None:
                 return
-            job = self._jobs[job_id]
+            with self._lock:
+                job = self._jobs[job_id]
             try:
                 with self._terminal:
                     if job.status is not JobStatus.PENDING:

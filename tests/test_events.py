@@ -228,7 +228,7 @@ class TestEventStreamParity:
         assert profiling and profiling[-1].runs_done == profiling[-1].runs_total > 0
         # elapsed never runs backwards
         elapsed = [e.elapsed_s for e in events]
-        assert all(a <= b for a, b in zip(elapsed, elapsed[1:]))
+        assert all(a <= b for a, b in zip(elapsed, elapsed[1:], strict=False))
         assert handle.status is JobStatus.DONE
 
     def test_identical_event_sequences_across_transports(

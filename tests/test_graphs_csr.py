@@ -222,4 +222,4 @@ class TestDedupEdges:
         src = np.array([p[0] for p in pairs], dtype=np.int64)
         dst = np.array([p[1] for p in pairs], dtype=np.int64)
         s, d = dedup_edges(src, dst)
-        assert sorted(set(pairs)) == list(zip(s.tolist(), d.tolist()))
+        assert sorted(set(pairs)) == list(zip(s.tolist(), d.tolist(), strict=True))

@@ -173,7 +173,7 @@ class TestGNNModels:
         state = model.state_dict()
         model2 = build_model("gcn", 4, 3, hidden_channels=8, seed=99)
         model2.load_state_dict(state)
-        for p1, p2 in zip(model.parameters(), model2.parameters()):
+        for p1, p2 in zip(model.parameters(), model2.parameters(), strict=True):
             np.testing.assert_array_equal(p1.data, p2.data)
 
     def test_load_state_dict_rejects_mismatch(self):

@@ -49,7 +49,7 @@ def test_cache_hits_only_resident_vertices(capacity, batches):
     for batch in batches:
         nodes = np.array(batch, dtype=np.int64)
         mask = cache.lookup(nodes)
-        for node, hit in zip(nodes, mask):
+        for node, hit in zip(nodes, mask, strict=True):
             if hit:
                 assert int(node) in ever_admitted
         cache.update(nodes[~mask])

@@ -232,7 +232,7 @@ class TestRemoteClient:
         # same task + seed behind every tenant: the overlapping Step-2 fold
         # was measured once across all HTTP clients, not once per client
         assert server.stats.executed == results[0].report.num_ground_truth
-        for result, priority in zip(results, priorities):
+        for result, priority in zip(results, priorities, strict=True):
             assert set(result.guidelines) == {priority}
 
 
