@@ -36,7 +36,14 @@ _BLOCKING_PREFIXES = (
 )
 
 #: simple callee names that run profiling workloads (seconds, not micros).
-_PROFILING_CALLEES = {"profile", "profile_one", "profile_configs", "_execute"}
+_PROFILING_CALLEES = {
+    "profile",
+    "profile_one",
+    "profile_configs",
+    "_execute",
+    "_execute_local",
+    "run_batch",
+}
 
 
 def _self_attr(node: ast.AST) -> str | None:

@@ -11,6 +11,8 @@ Commands
 ``cancel``     cancel remote jobs by id
 ``stats``      print a remote server's profiling/store/job counters
 ``metrics``    print a remote server's raw metrics registry scrape
+``executor``   join a server's profiling fleet as a remote executor
+``fleet``      inspect a remote server's fleet (``fleet status``)
 ``templates``  run the baseline system templates on a task
 ``datasets``   list the synthetic dataset zoo with statistics
 ``lint``       run the project-specific static analysis pass
@@ -161,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict least-recently-written store entries past BYTES on "
         "disk (default: unbounded; combines with --store-budget)",
     )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="fleet lease TTL: how long a remote executor may go silent "
+        "before its claimed profiling work is re-issued (default: 10)",
+    )
 
     def add_remote(sub_parser):
         sub_parser.add_argument(
@@ -277,6 +287,57 @@ def build_parser() -> argparse.ArgumentParser:
         )
     )
 
+    executor = sub.add_parser(
+        "executor",
+        help="join a server's profiling fleet: claim candidate batches, "
+        "run them locally, commit the records back (until interrupted)",
+    )
+    executor.add_argument(
+        "--server",
+        required=True,
+        metavar="URL",
+        help="base URL of a `repro serve --port` server "
+        "(e.g. http://127.0.0.1:8765)",
+    )
+    executor.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=None,
+        help="worker processes for claimed profiling runs (default: serial)",
+    )
+    executor.add_argument(
+        "--executor-id",
+        default=None,
+        metavar="ID",
+        help="rejoin under a previously-assigned executor id "
+        "(default: the server assigns a fresh one)",
+    )
+    executor.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap candidates per claim (default: the server's batch limit)",
+    )
+    executor.add_argument(
+        "--claim-timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="long-poll window of one idle claim round (default: 2)",
+    )
+
+    fleet = add_remote(
+        sub.add_parser(
+            "fleet", help="inspect a remote server's profiling fleet"
+        )
+    )
+    fleet.add_argument(
+        "action",
+        choices=["status"],
+        help="'status' prints the executor census and queue depths",
+    )
+
     tmpl = sub.add_parser("templates", help="run the baseline templates")
     tmpl.add_argument("--dataset", default="reddit2")
     tmpl.add_argument("--arch", default="sage", choices=["gcn", "sage", "gat"])
@@ -359,6 +420,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight_per_tenant,
         store_budget=args.store_budget,
         store_budget_bytes=args.store_budget_bytes,
+        fleet_lease_ttl=args.lease_ttl,
     ) as server:
         job_ids = server.submit_many(requests)
         print(
@@ -415,6 +477,7 @@ def _serve_network(
         max_inflight=args.max_inflight_per_tenant,
         store_budget=args.store_budget,
         store_budget_bytes=args.store_budget_bytes,
+        fleet_lease_ttl=args.lease_ttl,
     ) as server:
         if requests:
             job_ids = server.submit_many(requests)
@@ -586,6 +649,71 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_executor(args: argparse.Namespace) -> int:
+    from repro.serving.fleet import ProfilingExecutor
+
+    executor = ProfilingExecutor(
+        args.server,
+        workers=args.workers,
+        executor_id=args.executor_id,
+        max_candidates=args.max_candidates,
+        claim_timeout=args.claim_timeout,
+    )
+    executor.register()
+    print(
+        f"executor {executor.executor_id} joined {args.server} "
+        f"({args.workers or 'serial'} profiling worker(s), "
+        f"heartbeat every {executor.heartbeat_seconds:.1f}s)",
+        flush=True,
+    )
+    try:
+        # run() re-registers, which is idempotent under the same id; the
+        # eager register above exists so the banner can name the id before
+        # the loop blocks.
+        executor.run()
+    except KeyboardInterrupt:
+        print("interrupted; leaving the fleet...", flush=True)
+    finally:
+        executor.stop()
+    print(
+        f"executor {executor.executor_id}: {executor.claimed} batches "
+        f"claimed, {executor.runs} runs executed, "
+        f"{executor.committed} records committed"
+    )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.serving.fleet import FleetClient
+
+    status = FleetClient(args.server, tenant=args.tenant).fleet_status()
+    rows = [
+        [
+            row["executor_id"],
+            str(row["workers"]),
+            f"{row['age_seconds']:.1f}s",
+            str(row["claims"]),
+            str(row["commits"]),
+            str(row["lease_expiries"]),
+            str(row["leased_keys"]),
+        ]
+        for row in status.executors
+    ]
+    print(
+        render_table(
+            ["executor", "workers", "last seen", "claims", "commits",
+             "expiries", "leased"],
+            rows,
+            title=f"profiling fleet @ {args.server}",
+        )
+    )
+    print(
+        f"queue: {status.pending} candidate(s) pending, "
+        f"{status.leased} leased"
+    )
+    return 0
+
+
 def _cmd_templates(args: argparse.Namespace) -> int:
     task = TaskSpec(dataset=args.dataset, arch=args.arch, epochs=args.epochs)
     rows = []
@@ -653,6 +781,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "executor":
+        return _cmd_executor(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "templates":
         return _cmd_templates(args)
     if args.command == "lint":

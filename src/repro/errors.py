@@ -78,6 +78,16 @@ class JobFailedError(ServingError):
         self.traceback = traceback
 
 
+class UnknownExecutorError(ServingError):
+    """A fleet call named an executor id the server never registered.
+
+    The standing instruction to the executor is to re-register: the server
+    may have restarted (losing the registry) or pruned the executor after a
+    heartbeat gap.  A :class:`ServingError` subclass so existing ``except
+    ServingError`` callers keep working; the transport maps it to HTTP 404.
+    """
+
+
 class ProtocolError(ServingError):
     """A transport message violated the serving wire protocol.
 

@@ -476,6 +476,10 @@ class ProfilingService:
         self.store_budget_bytes = store_budget_bytes
         self.store = ResultStore(cache_dir) if cache_dir is not None else None
         self.stats = ProfilingStats()
+        #: optional batch runner (the fleet dispatcher) that takes over
+        #: pending-candidate execution when it ``accepts()`` the batch; see
+        #: :meth:`_execute`.  ``None`` keeps every run on the local pool.
+        self.runner = None
         self._memory: dict = {}
         # Graphs seen by this service: pinned so the id()-based memoization
         # and in-memory keys can never be recycled onto a different graph.
@@ -509,8 +513,10 @@ class ProfilingService:
         across processes and runs).  Without one, dedup and in-memory reuse
         only need identity within this service's lifetime — so skip hashing
         the full graph payload and key on ``(graph identity, task, config)``.
+        An attached batch runner forces content hashes too: fleet keys cross
+        the wire, so identity tuples would be meaningless on the far side.
         """
-        if self.store is not None:
+        if self.store is not None or self.runner is not None:
             fingerprint = self._fingerprint(graph)
             return [candidate_key(task, c, fingerprint) for c in configs]
         self._pin(graph)
@@ -561,6 +567,49 @@ class ProfilingService:
                     self.stats.bump("evictions", removed)
 
     def _execute(
+        self,
+        task: TaskSpec,
+        configs: list[TrainingConfig],
+        graph: CSRGraph,
+        *,
+        progress: bool = False,
+        cancel: CancellationToken | None = None,
+        keys: list | None = None,
+        on_run=None,
+    ) -> list[GroundTruthRecord]:
+        """Run the unique pending candidates — the batch handout seam.
+
+        When a batch runner is attached (``self.runner``, the fleet
+        dispatcher) and it ``accepts()`` this batch, execution is handed to
+        it; it commits records through :meth:`commit` exactly like the local
+        path and returns them in input order.  Otherwise — no runner, no
+        live executors, or no keys to address the work by — the batch runs
+        on the local pool via :meth:`_execute_local`.  The contract (order,
+        commit-as-you-go, ``stats.executed``, cancellation checkpoints,
+        ``on_run`` callbacks) is identical on both paths.
+        """
+        if not configs:
+            return []
+        runner = self.runner
+        if (
+            runner is not None
+            and keys is not None
+            and runner.accepts(task, configs, graph)
+        ):
+            return runner.run_batch(
+                self, task, configs, graph, keys=keys, cancel=cancel, on_run=on_run
+            )
+        return self._execute_local(
+            task,
+            configs,
+            graph,
+            progress=progress,
+            cancel=cancel,
+            keys=keys,
+            on_run=on_run,
+        )
+
+    def _execute_local(
         self,
         task: TaskSpec,
         configs: list[TrainingConfig],

@@ -1,0 +1,627 @@
+"""Fleet dispatcher: the server-side half of the batch handout seam.
+
+:class:`FleetDispatcher` plugs into
+:attr:`~repro.runtime.parallel.ProfilingService.runner` and takes over
+pending-candidate execution whenever at least one live executor is
+registered.  The flow per batch:
+
+1. :meth:`run_batch` (called from ``ProfilingService._execute`` on the job
+   worker thread) enqueues the batch's keys as pending work items and
+   blocks until every key has a committed record.
+2. Executors long-poll :meth:`claim`, which hands out same-graph batches
+   under a :class:`~repro.serving.fleet.leases.Lease` — preferring keys the
+   consistent-hash ring routes to the claimer (dedup affinity), stealing
+   from the head of the queue when it owns nothing pending (work never
+   stalls on affinity).
+3. :meth:`commit` publishes finished records through the *same*
+   ``service.commit`` path the local pool uses, so memory/store/budget
+   invariants cannot diverge.  Commits are idempotent twice over: a
+   retried POST replays its recorded outcome via the idempotency key, and
+   a key that already landed (an expired lease's zombie finishing late) is
+   counted as a duplicate and not double-published.
+4. Missed heartbeats expire leases (:meth:`_sweep_locked`): the keys go
+   back to pending and someone else claims them — a killed executor costs
+   wall-clock, never runs.  When the *whole* fleet goes silent,
+   ``run_batch`` withdraws the remainder and falls back to the local pool,
+   so a server never deadlocks on a dead fleet.
+
+Lock order: ``FleetDispatcher._lock`` may be held while taking the
+registry, lease-table or metrics locks (all leaves); store I/O and
+training execution always happen outside it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.config.settings import TaskSpec, TrainingConfig
+from repro.errors import ServingError, UnknownExecutorError
+from repro.graphs.csr import CSRGraph
+from repro.serving.fleet.leases import LeaseTable
+from repro.serving.fleet.registry import ExecutorInfo, ExecutorRegistry
+from repro.serving.metrics import labeled
+
+__all__ = ["ClaimGrant", "CommitOutcome", "FleetDispatcher"]
+
+#: ceiling on one claim long-poll's server-side wait (mirrors the
+#: transport's MAX_POLL_SECONDS without importing the wire layer).
+_MAX_CLAIM_POLL = 30.0
+
+#: per-executor metric families created by the dispatcher; removed again
+#: when the executor deregisters or is pruned.
+_EXECUTOR_METRICS = (
+    "fleet_claims",
+    "fleet_commits",
+    "fleet_lease_expiries",
+    "fleet_heartbeat_age_seconds",
+)
+
+
+@dataclass(frozen=True)
+class ClaimGrant:
+    """One claim round's outcome: a leased batch, or nothing pending."""
+
+    lease_id: str | None
+    ttl: float
+    task: TaskSpec | None
+    dataset: str | None
+    fingerprint: str | None
+    keys: tuple[str, ...]
+    configs: tuple[TrainingConfig, ...]
+
+    @property
+    def empty(self) -> bool:
+        return self.lease_id is None
+
+    @classmethod
+    def none(cls, ttl: float) -> "ClaimGrant":
+        return cls(
+            lease_id=None,
+            ttl=ttl,
+            task=None,
+            dataset=None,
+            fingerprint=None,
+            keys=(),
+            configs=(),
+        )
+
+
+@dataclass(frozen=True)
+class CommitOutcome:
+    """What one commit did: fresh records accepted, duplicates folded, and
+    whether this response was replayed from the idempotency table."""
+
+    accepted: int
+    duplicates: int
+    replayed: bool = False
+
+
+class _BatchGroup:
+    """The (task, graph) context shared by one run_batch's work items —
+    claims batch items only within a single group, so an executor always
+    receives one task and one graph per lease."""
+
+    __slots__ = ("task", "graph", "fingerprint")
+
+    def __init__(
+        self, task: TaskSpec, graph: CSRGraph, fingerprint: str
+    ) -> None:
+        self.task = task
+        self.graph = graph
+        self.fingerprint = fingerprint
+
+
+class _WorkItem:
+    """One pending candidate: its canonical config, lease state and result."""
+
+    __slots__ = ("key", "config", "group", "lease_id", "record", "local", "waiters")
+
+    def __init__(self, key: str, config: TrainingConfig, group: _BatchGroup) -> None:
+        self.key = key
+        self.config = config
+        self.group = group
+        self.lease_id: str | None = None
+        self.record = None
+        self.local = False  # True: a local fallback took this key over
+        self.waiters = 0
+
+
+class FleetDispatcher:
+    """Work-pull dispatcher between profiling batches and remote executors.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.runtime.parallel.ProfilingService` whose batches
+        this dispatcher takes over; attaching sets ``service.runner``.
+    lease_ttl:
+        Seconds a claimed batch stays leased without a heartbeat.  Also
+        derives the heartbeat interval executors are told to use
+        (``ttl / 3``), the liveness horizon (``ttl``) and the registry
+        prune horizon (``5 * ttl``).
+    max_batch:
+        Most candidates handed out per claim.  Small batches bound how
+        much work one executor death re-queues; large ones amortize HTTP
+        round trips.
+    metrics:
+        Optional :class:`~repro.serving.metrics.MetricsRegistry` for the
+        fleet counters (global and per-executor labeled).
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        lease_ttl: float = 10.0,
+        max_batch: int = 8,
+        metrics=None,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ServingError("lease_ttl must be positive")
+        if max_batch < 1:
+            raise ServingError("max_batch must be at least 1")
+        self.service = service
+        self.lease_ttl = float(lease_ttl)
+        self.max_batch = max_batch
+        self.metrics = metrics
+        self.registry = ExecutorRegistry()
+        self.leases = LeaseTable()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._items: dict[str, _WorkItem] = {}  # guarded-by: _lock
+        self._pending: list[str] = []  # guarded-by: _lock
+        #: graphs by fingerprint for /v1/fleet/graph/<fp> fetches; one entry
+        #: per distinct graph a server ever profiles on, so no eviction.
+        self._graphs: dict[str, CSRGraph] = {}  # guarded-by: _lock
+        #: keys whose record already landed via a fleet commit — the dedup
+        #: that keeps an expired lease's zombie commit from double-counting.
+        self._done: OrderedDict[str, bool] = OrderedDict()  # guarded-by: _lock
+        self._done_cap = 65536
+        #: (executor, idempotency key) -> outcome, replayed on retried POSTs.
+        self._replays: OrderedDict[tuple[str, str], CommitOutcome] = (
+            OrderedDict()
+        )  # guarded-by: _lock
+        self._replay_cap = 4096
+        service.runner = self
+
+    # ----------------------------------------------------------- membership
+    @property
+    def heartbeat_interval(self) -> float:
+        """How often executors are told to heartbeat (3 beats per TTL)."""
+        return self.lease_ttl / 3.0
+
+    def register(
+        self, *, workers: int = 1, executor_id: str | None = None
+    ) -> ExecutorInfo:
+        """Admit (or refresh) an executor and bind its labeled gauges."""
+        info = self.registry.register(workers=workers, executor_id=executor_id)
+        if self.metrics is not None:
+            self.metrics.gauge(
+                labeled(
+                    "fleet_heartbeat_age_seconds", executor=info.executor_id
+                ),
+                info.age,
+            )
+        with self._cond:
+            self._cond.notify_all()  # run_batch loops re-check accepts()
+        return info
+
+    def heartbeat(self, executor_id: str) -> int:
+        """Refresh liveness and renew the executor's leases; returns how
+        many leases were renewed.  Raises :class:`UnknownExecutorError` for
+        executors the registry forgot (they must re-register)."""
+        self.registry.touch(executor_id)
+        return self.leases.renew_owner(executor_id, self.lease_ttl)
+
+    def deregister(self, executor_id: str) -> bool:
+        """Graceful exit: drop the executor and re-queue anything it holds."""
+        existed = self.registry.deregister(executor_id)
+        with self._cond:
+            for lease in self.leases.active():
+                if lease.executor_id == executor_id:
+                    self.leases.release(lease.lease_id)
+                    self._requeue_locked(lease.lease_id, lease.keys)
+            self._cond.notify_all()
+        if existed:
+            self._drop_executor_metrics(executor_id)
+        return existed
+
+    # ------------------------------------------------------------ job side
+    def accepts(self, task, configs, graph) -> bool:
+        """Whether the fleet should take this batch: any live executor."""
+        return bool(self.registry.live(self.lease_ttl))
+
+    def run_batch(
+        self,
+        service,
+        task: TaskSpec,
+        configs: list[TrainingConfig],
+        graph: CSRGraph,
+        *,
+        keys: list,
+        cancel=None,
+        on_run=None,
+    ):
+        """Execute one pending batch through the fleet; blocks until done.
+
+        Same contract as ``ProfilingService._execute_local``: records come
+        back in input order, each is committed the moment it lands,
+        ``cancel`` is honoured at poll boundaries, and ``on_run(done)``
+        fires with this call's cumulative finished count.  If every
+        executor dies mid-batch the remainder is withdrawn and run on the
+        local pool — the job completes either way.
+        """
+        if cancel is not None:
+            cancel.raise_if_cancelled()
+        fingerprint = service._fingerprint(graph)
+        group = _BatchGroup(task, graph, fingerprint)
+        mine: dict[str, _WorkItem] = {}
+        with self._cond:
+            self._graphs[fingerprint] = graph
+            for key, config in zip(keys, configs, strict=True):
+                item = self._items.get(key)
+                if item is None:
+                    item = _WorkItem(key, config.canonical(), group)
+                    self._items[key] = item
+                    self._pending.append(key)
+                item.waiters += 1
+                mine[key] = item
+            self._cond.notify_all()  # wake claim long-polls
+
+        poll = max(0.05, min(self.lease_ttl / 4.0, 0.5))
+        reported = 0
+        try:
+            while True:
+                with self._cond:
+                    self._sweep_locked()
+                    unresolved = [
+                        key
+                        for key, item in mine.items()
+                        if self._resolved_locked(item) is None
+                    ]
+                    finished = len(mine) - len(unresolved)
+                    alive = bool(self.registry.live(self.lease_ttl))
+                    if unresolved and not alive:
+                        # Freeze the remainder before leaving the lock: out
+                        # of pending (no claim can grab it) and marked local
+                        # (a later lease expiry must not re-queue it).
+                        for key in unresolved:
+                            mine[key].local = True
+                            if key in self._pending:
+                                self._pending.remove(key)
+                if on_run is not None and finished > reported:
+                    reported = finished
+                    on_run(finished)
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
+                if not unresolved:
+                    return self._collect(service, keys, mine)
+                if not alive:
+                    break
+                with self._cond:
+                    self._cond.wait(poll)
+
+            # Dead-fleet fallback: run what's left on the local pool.  The
+            # records commit through the same service path, so waiters and
+            # the store see no difference from a fleet commit.
+            if self.metrics is not None:
+                self.metrics.inc("fleet_local_fallbacks")
+            service._execute_local(
+                task,
+                [mine[key].config for key in unresolved],
+                graph,
+                cancel=cancel,
+                keys=unresolved,
+                on_run=(
+                    None
+                    if on_run is None
+                    else lambda done: on_run(reported + done)
+                ),
+            )
+            return self._collect(service, keys, mine)
+        finally:
+            self._withdraw(mine)
+
+    def _collect(self, service, keys: list, mine: dict):
+        """Records for ``keys`` in input order, from items or the service
+        memory (local-fallback and shared-item commits land there)."""
+        records = []
+        with self._lock:
+            for key in keys:
+                item = mine[key]
+                record = (
+                    item.record
+                    if item.record is not None
+                    else service._memory.get(key)
+                )
+                if record is None:  # pragma: no cover — loop invariant
+                    raise ServingError(
+                        f"fleet batch finished without a record for {key!r}"
+                    )
+                records.append(record)
+        return records
+
+    def _withdraw(self, mine: dict) -> None:
+        """Drop this call's interest in its items (refcounted — shared items
+        survive until their last waiter leaves)."""
+        with self._cond:
+            for key, item in mine.items():
+                item.waiters -= 1
+                if item.waiters <= 0:
+                    self._items.pop(key, None)
+                    if key in self._pending:
+                        self._pending.remove(key)
+
+    def _resolved_locked(self, item: _WorkItem):  # holds: _lock
+        if item.record is not None:
+            return item.record
+        return self.service._memory.get(item.key)
+
+    # ------------------------------------------------------- executor side
+    def claim(
+        self,
+        executor_id: str,
+        *,
+        max_candidates: int | None = None,
+        timeout: float = 0.0,
+    ) -> ClaimGrant:
+        """Long-poll for a batch; empty grant when nothing lands in time.
+
+        Prefers pending keys the hash ring routes to this executor; when it
+        owns none, it steals from the queue head so capacity is never idle
+        while work waits.  All keys in one grant share a task and a graph.
+        """
+        limit = self.max_batch
+        if max_candidates is not None:
+            limit = max(1, min(max_candidates, self.max_batch))
+        deadline = time.monotonic() + max(0.0, min(timeout, _MAX_CLAIM_POLL))
+        poll = max(0.05, min(self.lease_ttl / 4.0, 0.5))
+        while True:
+            # touch() every wake: raises UnknownExecutorError (re-register)
+            # if the registry forgot us mid-poll, and keeps a long-polling
+            # but otherwise idle executor alive.
+            info = self.registry.touch(executor_id)
+            with self._cond:
+                self._sweep_locked()
+                selected = self._select_locked(executor_id, limit)
+                if selected:
+                    lease = self.leases.issue(
+                        executor_id,
+                        [item.key for item in selected],
+                        self.lease_ttl,
+                    )
+                    for item in selected:
+                        item.lease_id = lease.lease_id
+                    info.claims += 1
+                    group = selected[0].group
+                    grant = ClaimGrant(
+                        lease_id=lease.lease_id,
+                        ttl=self.lease_ttl,
+                        task=group.task,
+                        dataset=group.task.dataset,
+                        fingerprint=group.fingerprint,
+                        keys=tuple(item.key for item in selected),
+                        configs=tuple(item.config for item in selected),
+                    )
+                else:
+                    grant = None
+                    remaining = deadline - time.monotonic()
+                    if remaining > 0:
+                        self._cond.wait(min(poll, remaining))
+            if grant is not None:
+                if self.metrics is not None:
+                    self.metrics.inc("fleet_claims")
+                    self.metrics.inc(
+                        labeled("fleet_claims", executor=executor_id)
+                    )
+                return grant
+            if time.monotonic() >= deadline:
+                return ClaimGrant.none(self.lease_ttl)
+
+    def _select_locked(self, executor_id, limit):  # holds: _lock
+        if not self._pending:
+            return []
+        owned = [
+            key
+            for key in self._pending
+            if self.registry.route(key) == executor_id
+        ]
+        pool = owned if owned else self._pending
+        group = self._items[pool[0]].group
+        chosen = [
+            key for key in pool if self._items[key].group is group
+        ][:limit]
+        for key in chosen:
+            self._pending.remove(key)
+        return [self._items[key] for key in chosen]
+
+    def commit(
+        self,
+        executor_id: str,
+        lease_id: str | None,
+        keys: list,
+        records: list,
+        *,
+        idempotency_key: str | None = None,
+    ) -> CommitOutcome:
+        """Publish finished records; idempotent against retries and zombies.
+
+        A retried POST (same executor + idempotency key) replays the
+        recorded outcome without touching anything.  A key that already
+        landed — its lease expired and someone else committed it first —
+        counts as a duplicate: no store write, no ``executed`` bump.  The
+        runs themselves are deterministic functions of (task, config,
+        graph), so whichever commit wins, the bytes are identical.
+
+        Commits from executors the registry forgot are still accepted: the
+        work is done and correct, refusing it would only re-run it.
+        """
+        if len(keys) != len(records):
+            raise ServingError(
+                f"commit carries {len(keys)} keys but {len(records)} records"
+            )
+        try:
+            info = self.registry.touch(executor_id)
+        except UnknownExecutorError:
+            info = None
+        replay_key = (
+            None
+            if idempotency_key is None
+            else (executor_id, idempotency_key)
+        )
+        fresh: list = []
+        duplicates = 0
+        with self._cond:
+            if replay_key is not None:
+                known = self._replays.get(replay_key)
+                if known is not None:
+                    return dataclasses.replace(known, replayed=True)
+            for key, record in zip(keys, records, strict=True):
+                if key in self._done:
+                    duplicates += 1
+                    continue
+                self._done[key] = True
+                while len(self._done) > self._done_cap:
+                    self._done.popitem(last=False)
+                fresh.append((key, record))
+
+        # Store I/O outside the dispatcher lock: a slow disk must not block
+        # claims and heartbeats.  Each publish bumps ``executed`` — the run
+        # really happened, just on another machine.
+        published = 0
+        try:
+            for key, record in fresh:
+                self.service.commit(key, record)
+                self.service.stats.bump("executed")
+                published += 1
+        except BaseException:
+            with self._cond:
+                # Un-reserve what never landed so re-claims can re-run it.
+                for key, _ in fresh[published:]:
+                    self._done.pop(key, None)
+                self._cond.notify_all()
+            raise
+
+        outcome = CommitOutcome(accepted=len(fresh), duplicates=duplicates)
+        with self._cond:
+            for key, record in fresh:
+                item = self._items.get(key)
+                if item is not None:
+                    item.record = record
+                    item.lease_id = None
+                    if key in self._pending:
+                        self._pending.remove(key)
+            if lease_id is not None:
+                self.leases.release(lease_id)
+            if info is not None:
+                info.commits += 1
+            if replay_key is not None:
+                self._replays[replay_key] = outcome
+                while len(self._replays) > self._replay_cap:
+                    self._replays.popitem(last=False)
+            self._cond.notify_all()
+        if self.metrics is not None:
+            self.metrics.inc("fleet_commits")
+            if duplicates:
+                self.metrics.inc("fleet_commit_duplicates", duplicates)
+            if info is not None:
+                self.metrics.inc(
+                    labeled("fleet_commits", executor=executor_id)
+                )
+        return outcome
+
+    def graph(self, fingerprint: str) -> CSRGraph:
+        """The graph behind one fingerprint (``/v1/fleet/graph/<fp>``)."""
+        with self._lock:
+            graph = self._graphs.get(fingerprint)
+        if graph is None:
+            raise ServingError(f"unknown graph fingerprint {fingerprint!r}")
+        return graph
+
+    # ------------------------------------------------------------- plumbing
+    def _requeue_locked(self, lease_id, lease_keys):  # holds: _lock
+        """Put a dead lease's unfinished keys back on the pending queue."""
+        requeued = 0
+        for key in lease_keys:
+            item = self._items.get(key)
+            if item is None or item.record is not None or item.local:
+                continue
+            if key in self._done:
+                continue
+            if item.lease_id != lease_id:
+                continue  # already re-claimed under a newer lease
+            item.lease_id = None
+            if key not in self._pending:
+                self._pending.append(key)
+            requeued += 1
+        return requeued
+
+    def _sweep_locked(self) -> None:  # holds: _lock
+        """Expire overdue leases (re-queue their keys) and prune executors
+        silent past the horizon (their metrics go with them)."""
+        for lease in self.leases.expired():
+            requeued = self._requeue_locked(lease.lease_id, lease.keys)
+            info = self.registry.get(lease.executor_id)
+            if info is not None:
+                info.lease_expiries += 1
+            if self.metrics is not None:
+                self.metrics.inc("fleet_lease_expiries")
+                self.metrics.inc(
+                    labeled(
+                        "fleet_lease_expiries", executor=lease.executor_id
+                    )
+                )
+            if requeued:
+                self._cond.notify_all()
+        for info in self.registry.prune(self.lease_ttl * 5.0):
+            self._drop_executor_metrics(info.executor_id)
+
+    def _drop_executor_metrics(self, executor_id: str) -> None:
+        if self.metrics is None:
+            return
+        for name in _EXECUTOR_METRICS:
+            self.metrics.remove(labeled(name, executor=executor_id))
+
+    # -------------------------------------------------------------- status
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def leased_count(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for item in self._items.values()
+                if item.lease_id is not None and item.record is None
+            )
+
+    def status(self) -> dict:
+        """Fleet census for ``GET /v1/fleet`` and ``repro fleet status``."""
+        held: dict[str, int] = {}
+        for lease in self.leases.active():
+            held[lease.executor_id] = held.get(lease.executor_id, 0) + len(
+                lease.keys
+            )
+        executors = [
+            {
+                "executor_id": info.executor_id,
+                "workers": info.workers,
+                "age_seconds": round(info.age(), 3),
+                "claims": info.claims,
+                "commits": info.commits,
+                "lease_expiries": info.lease_expiries,
+                "leased_keys": held.get(info.executor_id, 0),
+            }
+            for info in self.registry.all()
+        ]
+        return {
+            "executors": executors,
+            "pending": self.pending_count,
+            "leased": self.leased_count,
+        }

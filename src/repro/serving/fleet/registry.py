@@ -1,0 +1,212 @@
+"""Executor registry: who is in the fleet and which keys they own.
+
+The registry is the dispatcher's membership view — executors register over
+``/v1/fleet/register``, refresh themselves with every heartbeat/claim/commit
+(:meth:`ExecutorRegistry.touch`), and fall out either explicitly
+(:meth:`deregister`) or by going silent past the prune horizon.
+
+Routing rides a consistent-hash ring over the same ``candidate_key``
+content hashes the result store uses: each executor owns a stable arc of
+the key space, so the same candidate is preferentially claimed by the same
+executor across jobs — dedup affinity for the executor's in-memory record
+cache — while adding or losing an executor only remaps the arcs adjacent
+to it, not the whole space.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import UnknownExecutorError
+
+__all__ = ["ExecutorInfo", "ExecutorRegistry", "HashRing"]
+
+
+def _ring_hash(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping candidate keys to executor ids.
+
+    Each node is placed at ``replicas`` pseudo-random points (virtual
+    nodes), which evens out arc sizes with few real nodes; a key routes to
+    the first node clockwise from its own hash.  Not thread-safe — the
+    owning registry serializes access under its lock.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+
+    def add(self, node: str) -> None:
+        """Place one node on the ring (idempotent)."""
+        for i in range(self.replicas):
+            point = _ring_hash(f"{node}#{i}")
+            if self._owners.get(point) == node:
+                continue
+            # first-writer-wins on the (astronomically unlikely) collision
+            if point in self._owners:
+                continue
+            self._owners[point] = node
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        """Take one node off the ring (idempotent)."""
+        for i in range(self.replicas):
+            point = _ring_hash(f"{node}#{i}")
+            if self._owners.get(point) == node:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                del self._points[index]
+
+    def route(self, key: str) -> str | None:
+        """The node owning ``key``, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        point = _ring_hash(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def __len__(self) -> int:
+        return len(set(self._owners.values()))
+
+
+@dataclass
+class ExecutorInfo:
+    """One registered executor's bookkeeping row (registry-owned)."""
+
+    executor_id: str
+    workers: int
+    registered_at: float
+    last_seen: float
+    claims: int = 0
+    commits: int = 0
+    lease_expiries: int = 0
+    generation: int = 0  # bumped on every re-registration of the same id
+
+    def age(self, now: float | None = None) -> float:
+        """Seconds since this executor was last heard from."""
+        return (time.monotonic() if now is None else now) - self.last_seen
+
+
+class ExecutorRegistry:
+    """Thread-safe membership table + consistent-hash routing for the fleet.
+
+    ``touch`` is the liveness primitive: every fleet RPC from an executor
+    refreshes its ``last_seen``, and :meth:`live`/:meth:`prune` interpret
+    silence against the caller-supplied horizons (the dispatcher derives
+    both from its lease TTL).
+    """
+
+    def __init__(self, *, replicas: int = 64) -> None:
+        self._lock = threading.Lock()
+        self._executors: dict[str, ExecutorInfo] = {}  # guarded-by: _lock
+        self._ring = HashRing(replicas)  # guarded-by: _lock
+        self._next_id = 0  # guarded-by: _lock
+
+    def register(
+        self, *, workers: int = 1, executor_id: str | None = None
+    ) -> ExecutorInfo:
+        """Admit an executor; re-registering a known id refreshes it.
+
+        Re-registration is the recovery path after a server restart or a
+        heartbeat gap (:class:`UnknownExecutorError` tells the executor to
+        come back through here), so it must be idempotent: the same id
+        keeps its ring arcs and its counters, only liveness resets.
+        """
+        now = time.monotonic()
+        with self._lock:
+            if executor_id is None:
+                executor_id = f"ex-{self._next_id:04d}"
+                self._next_id += 1
+            info = self._executors.get(executor_id)
+            if info is None:
+                info = ExecutorInfo(
+                    executor_id=executor_id,
+                    workers=max(1, workers),
+                    registered_at=now,
+                    last_seen=now,
+                )
+                self._executors[executor_id] = info
+                self._ring.add(executor_id)
+            else:
+                info.workers = max(1, workers)
+                info.last_seen = now
+                info.generation += 1
+            return info
+
+    def touch(self, executor_id: str) -> ExecutorInfo:
+        """Refresh liveness; raises :class:`UnknownExecutorError` so an
+        unregistered (restarted-server, pruned) executor re-registers."""
+        with self._lock:
+            info = self._executors.get(executor_id)
+            if info is None:
+                raise UnknownExecutorError(
+                    f"unknown executor {executor_id!r}; re-register"
+                )
+            info.last_seen = time.monotonic()
+            return info
+
+    def get(self, executor_id: str) -> ExecutorInfo | None:
+        with self._lock:
+            return self._executors.get(executor_id)
+
+    def deregister(self, executor_id: str) -> bool:
+        """Remove an executor (graceful shutdown); ``True`` if it existed."""
+        with self._lock:
+            info = self._executors.pop(executor_id, None)
+            if info is None:
+                return False
+            self._ring.remove(executor_id)
+            return True
+
+    def live(self, horizon: float) -> list[ExecutorInfo]:
+        """Executors heard from within ``horizon`` seconds, id-sorted."""
+        now = time.monotonic()
+        with self._lock:
+            return sorted(
+                (
+                    info
+                    for info in self._executors.values()
+                    if now - info.last_seen <= horizon
+                ),
+                key=lambda info: info.executor_id,
+            )
+
+    def prune(self, horizon: float) -> list[ExecutorInfo]:
+        """Drop executors silent past ``horizon``; returns what was removed."""
+        now = time.monotonic()
+        removed = []
+        with self._lock:
+            for executor_id in list(self._executors):
+                info = self._executors[executor_id]
+                if now - info.last_seen > horizon:
+                    removed.append(self._executors.pop(executor_id))
+                    self._ring.remove(executor_id)
+        return removed
+
+    def route(self, key: str) -> str | None:
+        """Preferred owner of one candidate key (``None``: empty fleet)."""
+        with self._lock:
+            return self._ring.route(key)
+
+    def all(self) -> list[ExecutorInfo]:
+        """Every registered executor, id-sorted (point-in-time copy)."""
+        with self._lock:
+            return sorted(
+                self._executors.values(), key=lambda info: info.executor_id
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._executors)

@@ -11,6 +11,10 @@ consumer — ``/v1/metrics``, ``/v1/stats``, the CLI — reads one
 
 Counters and gauges share a flat namespace; registering a gauge under an
 existing counter name (or vice versa) is a programming error and raises.
+Per-entity series (one counter per fleet executor, say) use
+:func:`labeled` names — ``fleet_claims{executor="ex-0000"}`` — which sort
+next to their base family in a snapshot and can be dropped again with
+:meth:`MetricsRegistry.remove` when the entity goes away.
 """
 
 from __future__ import annotations
@@ -18,7 +22,22 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
-__all__ = ["MetricsRegistry"]
+__all__ = ["MetricsRegistry", "labeled"]
+
+
+def labeled(name: str, **labels: str) -> str:
+    """Prometheus-style labeled metric name: ``name{k="v",...}``, key-sorted.
+
+    Purely a naming convention over the flat registry — the registry itself
+    treats the result as an opaque name — but a stable, sorted rendering
+    means the same (family, labels) pair always lands on the same series.
+    """
+    if not labels:
+        return name
+    rendered = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{rendered}}}"
 
 
 class MetricsRegistry:
@@ -60,6 +79,18 @@ class MetricsRegistry:
             if name in self._counters:
                 raise ValueError(f"{name!r} is already a counter")
             self._gauges[name] = fn
+
+    # ---------------------------------------------------------------- removal
+    def remove(self, name: str) -> bool:
+        """Forget one metric (either kind); ``True`` if it existed.
+
+        Exists for labeled per-entity series — a deregistered fleet
+        executor must not haunt every later snapshot — and is deliberately
+        quiet about unknown names so teardown paths can sweep candidates.
+        """
+        with self._lock:
+            dropped = self._counters.pop(name, None) is not None
+            return (self._gauges.pop(name, None) is not None) or dropped
 
     # ---------------------------------------------------------------- scraping
     def value(self, name: str) -> float:

@@ -35,6 +35,7 @@ from repro.explorer.navigator import GNNavigator
 from repro.graphs.csr import CSRGraph
 from repro.graphs.datasets import load_dataset
 from repro.runtime.parallel import ProfilingService, ProfilingStats, ResultStore
+from repro.serving.fleet import FleetDispatcher
 from repro.serving.events import (
     DEFAULT_POLL_SECONDS,
     EventBatch,
@@ -108,6 +109,11 @@ class NavigationServer:
         oldest events are dropped, the drop is counted in
         ``metrics["events_dropped"]``, and readers that fell behind see an
         explicit gap instead of a silent skip.
+    fleet_lease_ttl:
+        Lease TTL (seconds) of the distributed profiling fleet — how long
+        a remote executor may go silent before its claimed work is
+        re-issued.  Irrelevant until an executor registers; with an empty
+        fleet every batch runs on the local pool exactly as before.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class NavigationServer:
         store_budget: int | None = None,
         store_budget_bytes: int | None = None,
         event_buffer: int = 256,
+        fleet_lease_ttl: float = 10.0,
     ) -> None:
         if workers < 1:
             raise ServingError("a server needs at least one worker thread")
@@ -158,6 +165,12 @@ class NavigationServer:
         self._threads: list[threading.Thread] = []
         self._stopping = False  # guarded-by: _lock
         self.metrics = MetricsRegistry()
+        # Attaching the dispatcher sets ``service.runner``: profiling
+        # batches route to registered executors and fall back to the local
+        # pool when the fleet is empty — a local-only server never notices.
+        self.fleet = FleetDispatcher(
+            self.service, lease_ttl=fleet_lease_ttl, metrics=self.metrics
+        )
         self._register_gauges()
         if autostart:
             self.start()
@@ -191,6 +204,9 @@ class NavigationServer:
         self.metrics.gauge(
             "jobs_running", lambda: self._census(JobStatus.RUNNING)
         )
+        self.metrics.gauge("fleet_executors", lambda: len(self.fleet.registry))
+        self.metrics.gauge("fleet_pending", lambda: self.fleet.pending_count)
+        self.metrics.gauge("fleet_leased", lambda: self.fleet.leased_count)
 
     def _census(self, status: JobStatus) -> int:
         with self._lock:

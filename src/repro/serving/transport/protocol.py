@@ -31,9 +31,14 @@ id`` and replays the original response instead of double-enqueuing.
 
 from __future__ import annotations
 
+import base64
+import dataclasses
 import json
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.config.settings import TaskSpec
 from repro.errors import (
     ConfigError,
     ExplorationError,
@@ -44,8 +49,10 @@ from repro.errors import (
     ReproError,
     ServerStoppingError,
     ServingError,
+    UnknownExecutorError,
     UnknownJobError,
 )
+from repro.graphs.csr import CSRGraph
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -59,6 +66,10 @@ __all__ = [
     "decode_error",
     "parse_json",
     "check_protocol",
+    "task_to_wire",
+    "task_from_wire",
+    "graph_to_wire",
+    "graph_from_wire",
     "SubmitRequest",
     "SubmitResponse",
     "ResultResponse",
@@ -67,6 +78,16 @@ __all__ = [
     "EventsResponse",
     "MetricsResponse",
     "StatsResponse",
+    "FleetRegisterRequest",
+    "FleetRegisterResponse",
+    "FleetHeartbeatRequest",
+    "FleetHeartbeatResponse",
+    "FleetClaimRequest",
+    "FleetClaimResponse",
+    "FleetCommitRequest",
+    "FleetCommitResponse",
+    "FleetGraphResponse",
+    "FleetStatusResponse",
 ]
 
 #: wire-format version; embedded in the URL namespace (``/v1``) and echoed
@@ -107,6 +128,7 @@ WIRE_ERRORS: dict[str, type[ReproError]] = {
         ServingError,
         ServerStoppingError,
         UnknownJobError,
+        UnknownExecutorError,
         JobCancelled,
         JobFailedError,
         ProtocolError,
@@ -177,6 +199,97 @@ def check_protocol(payload: dict) -> None:
             f"protocol version mismatch: server speaks {PROTOCOL_VERSION}, "
             f"request carries {version!r}"
         )
+
+
+# ------------------------------------------------------- fleet wire payloads
+#: the comparable TaskSpec fields — exactly the set ``candidate_key`` hashes,
+#: so a task that round-trips the wire lands on the same candidate keys.
+_TASK_WIRE_FIELDS = tuple(
+    f.name for f in dataclasses.fields(TaskSpec) if f.compare
+)
+
+
+def task_to_wire(task: TaskSpec) -> dict:
+    """JSON-friendly encoding of a :class:`TaskSpec` (comparable fields)."""
+    return {name: getattr(task, name) for name in _TASK_WIRE_FIELDS}
+
+
+def task_from_wire(data: dict) -> TaskSpec:
+    """Inverse of :func:`task_to_wire`; :class:`ProtocolError` on bad shape."""
+    if not isinstance(data, dict):
+        raise ProtocolError("task payload must be a JSON object")
+    try:
+        return TaskSpec(**{name: data[name] for name in _TASK_WIRE_FIELDS})
+    except KeyError as exc:
+        raise ProtocolError(f"task payload missing field {exc}") from None
+    except TypeError as exc:
+        raise ProtocolError(f"malformed task payload: {exc}") from None
+
+
+#: the CSRGraph arrays that cross the wire (same set graph_fingerprint hashes).
+_GRAPH_ARRAYS = ("indptr", "indices", "features", "labels")
+
+
+def graph_to_wire(graph: CSRGraph) -> dict:
+    """Base64-array encoding of a graph for ``GET /v1/fleet/graph/<fp>``.
+
+    Each array travels with its dtype and shape tags; optional arrays
+    (features, labels) encode as ``null``.  Feeds ``tobytes`` per array —
+    graph fetches are a cold path that happens once per (executor, graph).
+    """
+    arrays: dict = {}
+    for tag in _GRAPH_ARRAYS:
+        arr = getattr(graph, tag)
+        if arr is None:
+            arrays[tag] = None
+            continue
+        arrays[tag] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "data": base64.b64encode(
+                np.ascontiguousarray(arr).tobytes()
+            ).decode("ascii"),
+        }
+    return {
+        "name": graph.name,
+        "num_classes": int(graph.num_classes),
+        "arrays": arrays,
+    }
+
+
+def graph_from_wire(data: dict) -> CSRGraph:
+    """Inverse of :func:`graph_to_wire`; :class:`ProtocolError` on bad shape."""
+    if not isinstance(data, dict) or not isinstance(data.get("arrays"), dict):
+        raise ProtocolError("graph payload must carry an 'arrays' object")
+    arrays: dict = {}
+    for tag in _GRAPH_ARRAYS:
+        spec = data["arrays"].get(tag)
+        if spec is None:
+            arrays[tag] = None
+            continue
+        try:
+            raw = base64.b64decode(spec["data"])
+            # .copy(): frombuffer views are read-only; CSRGraph validation
+            # and training both expect ordinary writable arrays.
+            arrays[tag] = (
+                np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))
+                .reshape(spec["shape"])
+                .copy()
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed graph array {tag!r}: {exc}"
+            ) from None
+    if arrays["indptr"] is None or arrays["indices"] is None:
+        raise ProtocolError("graph payload missing indptr/indices arrays")
+    return CSRGraph(
+        indptr=arrays["indptr"],
+        indices=arrays["indices"],
+        features=arrays["features"],
+        labels=arrays["labels"],
+        num_classes=int(data.get("num_classes", 0)),
+        name=str(data.get("name", "graph")),
+    )
 
 
 # --------------------------------------------------------- request dataclasses
@@ -433,3 +546,332 @@ class StatsResponse:
             )
         except KeyError as exc:
             raise ProtocolError(f"stats response missing {exc}") from None
+
+
+# --------------------------------------------------------- fleet dataclasses
+@dataclass(frozen=True)
+class FleetRegisterRequest:
+    """``POST /v1/fleet/register`` body: join (or rejoin) the fleet.
+
+    ``executor_id`` is ``None`` on first contact (the server assigns one)
+    and carries the previously-assigned id on re-registration after a
+    server restart or heartbeat gap, so the executor keeps its ring arcs.
+    """
+
+    workers: int = 1
+    executor_id: str | None = None
+
+    def to_wire(self) -> dict:
+        out: dict = {"protocol": PROTOCOL_VERSION, "workers": self.workers}
+        if self.executor_id is not None:
+            out["executor_id"] = self.executor_id
+        return out
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FleetRegisterRequest":
+        check_protocol(payload)
+        workers = payload.get("workers", 1)
+        if not isinstance(workers, int) or workers < 1:
+            raise ProtocolError("workers must be a positive integer")
+        executor_id = payload.get("executor_id")
+        if executor_id is not None and not isinstance(executor_id, str):
+            raise ProtocolError("executor_id must be a string")
+        return cls(workers=workers, executor_id=executor_id)
+
+
+@dataclass(frozen=True)
+class FleetRegisterResponse:
+    """Registration grant: the executor's id and its timing contract."""
+
+    executor_id: str
+    heartbeat_seconds: float
+    lease_ttl: float
+
+    def to_wire(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "executor_id": self.executor_id,
+            "heartbeat_seconds": self.heartbeat_seconds,
+            "lease_ttl": self.lease_ttl,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FleetRegisterResponse":
+        check_protocol(payload)
+        try:
+            return cls(
+                executor_id=payload["executor_id"],
+                heartbeat_seconds=float(payload["heartbeat_seconds"]),
+                lease_ttl=float(payload["lease_ttl"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed register response: {exc}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class FleetHeartbeatRequest:
+    """``POST /v1/fleet/heartbeat`` body: liveness + lease renewal."""
+
+    executor_id: str
+
+    def to_wire(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "executor_id": self.executor_id,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FleetHeartbeatRequest":
+        check_protocol(payload)
+        executor_id = payload.get("executor_id")
+        if not isinstance(executor_id, str):
+            raise ProtocolError("heartbeat needs a string executor_id")
+        return cls(executor_id=executor_id)
+
+
+@dataclass(frozen=True)
+class FleetHeartbeatResponse:
+    """Heartbeat ack: how many of the executor's leases were renewed."""
+
+    renewed: int
+
+    def to_wire(self) -> dict:
+        return {"protocol": PROTOCOL_VERSION, "renewed": self.renewed}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FleetHeartbeatResponse":
+        check_protocol(payload)
+        return cls(renewed=int(payload.get("renewed", 0)))
+
+
+@dataclass(frozen=True)
+class FleetClaimRequest:
+    """``POST /v1/fleet/claim`` body: one work-pull long-poll round."""
+
+    executor_id: str
+    max_candidates: int | None = None
+    timeout: float = 0.0
+
+    def to_wire(self) -> dict:
+        out: dict = {
+            "protocol": PROTOCOL_VERSION,
+            "executor_id": self.executor_id,
+            "timeout": self.timeout,
+        }
+        if self.max_candidates is not None:
+            out["max_candidates"] = self.max_candidates
+        return out
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FleetClaimRequest":
+        check_protocol(payload)
+        executor_id = payload.get("executor_id")
+        if not isinstance(executor_id, str):
+            raise ProtocolError("claim needs a string executor_id")
+        max_candidates = payload.get("max_candidates")
+        if max_candidates is not None and (
+            not isinstance(max_candidates, int) or max_candidates < 1
+        ):
+            raise ProtocolError("max_candidates must be a positive integer")
+        try:
+            timeout = float(payload.get("timeout", 0.0))
+        except (TypeError, ValueError):
+            raise ProtocolError("timeout must be a number") from None
+        return cls(
+            executor_id=executor_id,
+            max_candidates=max_candidates,
+            timeout=timeout,
+        )
+
+
+@dataclass(frozen=True)
+class FleetClaimResponse:
+    """One claim outcome: a leased batch, or empty (``lease_id`` null).
+
+    ``task`` is a :func:`task_to_wire` payload and ``configs`` are
+    :meth:`TrainingConfig.to_dict` payloads, key-aligned with ``keys``.
+    ``fingerprint`` names the graph: executors resolve it locally by
+    dataset name when the fingerprints match, else fetch it from
+    ``/v1/fleet/graph/<fingerprint>``.
+    """
+
+    lease_id: str | None
+    ttl: float
+    task: dict | None = None
+    dataset: str | None = None
+    fingerprint: str | None = None
+    keys: list = field(default_factory=list)
+    configs: list = field(default_factory=list)
+
+    def to_wire(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "lease_id": self.lease_id,
+            "ttl": self.ttl,
+            "task": self.task,
+            "dataset": self.dataset,
+            "fingerprint": self.fingerprint,
+            "keys": list(self.keys),
+            "configs": list(self.configs),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FleetClaimResponse":
+        check_protocol(payload)
+        if "lease_id" not in payload or "ttl" not in payload:
+            raise ProtocolError("claim response needs 'lease_id' and 'ttl'")
+        keys = list(payload.get("keys", []))
+        configs = list(payload.get("configs", []))
+        if len(keys) != len(configs):
+            raise ProtocolError(
+                "claim response keys/configs are not the same length"
+            )
+        return cls(
+            lease_id=payload["lease_id"],
+            ttl=float(payload["ttl"]),
+            task=payload.get("task"),
+            dataset=payload.get("dataset"),
+            fingerprint=payload.get("fingerprint"),
+            keys=keys,
+            configs=configs,
+        )
+
+    @property
+    def empty(self) -> bool:
+        return self.lease_id is None
+
+
+@dataclass(frozen=True)
+class FleetCommitRequest:
+    """``POST /v1/fleet/commit`` body: finished records coming home.
+
+    ``records`` are ``record_to_dict`` payloads, key-aligned with ``keys``.
+    ``idempotency_key`` (body field wins over the shared
+    ``X-Repro-Idempotency-Key`` header) lets a retried commit replay its
+    original outcome instead of double-counting; executors use the lease id.
+    """
+
+    executor_id: str
+    lease_id: str | None
+    keys: list
+    records: list
+    idempotency_key: str | None = None
+
+    def to_wire(self) -> dict:
+        out: dict = {
+            "protocol": PROTOCOL_VERSION,
+            "executor_id": self.executor_id,
+            "lease_id": self.lease_id,
+            "keys": list(self.keys),
+            "records": list(self.records),
+        }
+        if self.idempotency_key is not None:
+            out["idempotency_key"] = self.idempotency_key
+        return out
+
+    @classmethod
+    def from_wire(
+        cls, payload: dict, *, header_key: str | None = None
+    ) -> "FleetCommitRequest":
+        check_protocol(payload)
+        executor_id = payload.get("executor_id")
+        if not isinstance(executor_id, str):
+            raise ProtocolError("commit needs a string executor_id")
+        keys = payload.get("keys")
+        records = payload.get("records")
+        if not isinstance(keys, list) or not isinstance(records, list):
+            raise ProtocolError("commit needs 'keys' and 'records' lists")
+        if len(keys) != len(records):
+            raise ProtocolError(
+                f"commit carries {len(keys)} keys but {len(records)} records"
+            )
+        for record in records:
+            if not isinstance(record, dict):
+                raise ProtocolError("every record must be a JSON object")
+        key = payload.get("idempotency_key", header_key)
+        if key is not None and not isinstance(key, str):
+            raise ProtocolError("idempotency_key must be a string")
+        return cls(
+            executor_id=executor_id,
+            lease_id=payload.get("lease_id"),
+            keys=keys,
+            records=records,
+            idempotency_key=key,
+        )
+
+
+@dataclass(frozen=True)
+class FleetCommitResponse:
+    """Commit outcome: accepted vs duplicate counts, and whether this
+    response was replayed from the idempotency table."""
+
+    accepted: int
+    duplicates: int
+    replayed: bool = False
+
+    def to_wire(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "accepted": self.accepted,
+            "duplicates": self.duplicates,
+            "replayed": self.replayed,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FleetCommitResponse":
+        check_protocol(payload)
+        if "accepted" not in payload:
+            raise ProtocolError("commit response carries no 'accepted'")
+        return cls(
+            accepted=int(payload["accepted"]),
+            duplicates=int(payload.get("duplicates", 0)),
+            replayed=bool(payload.get("replayed", False)),
+        )
+
+
+@dataclass(frozen=True)
+class FleetGraphResponse:
+    """``GET /v1/fleet/graph/<fp>``: one :func:`graph_to_wire` payload."""
+
+    graph: dict
+
+    def to_wire(self) -> dict:
+        return {"protocol": PROTOCOL_VERSION, "graph": self.graph}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FleetGraphResponse":
+        check_protocol(payload)
+        if "graph" not in payload:
+            raise ProtocolError("graph response carries no 'graph'")
+        return cls(graph=dict(payload["graph"]))
+
+
+@dataclass(frozen=True)
+class FleetStatusResponse:
+    """``GET /v1/fleet``: the dispatcher's census (executor rows plus
+    pending/leased queue depths)."""
+
+    executors: list
+    pending: int
+    leased: int
+
+    def to_wire(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "executors": list(self.executors),
+            "pending": self.pending,
+            "leased": self.leased,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FleetStatusResponse":
+        check_protocol(payload)
+        if "executors" not in payload:
+            raise ProtocolError("fleet status carries no 'executors'")
+        return cls(
+            executors=list(payload["executors"]),
+            pending=int(payload.get("pending", 0)),
+            leased=int(payload.get("leased", 0)),
+        )

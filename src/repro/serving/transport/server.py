@@ -19,6 +19,13 @@ Endpoints (all under ``/v1``)::
     POST /v1/drain?timeout=             long-poll until all jobs terminal
     GET  /v1/stats                      profiling counters + store gauges
     GET  /v1/metrics                    flat MetricsRegistry scrape
+    GET  /v1/fleet                      fleet census (executors, queues)
+    GET  /v1/fleet/graph/<fingerprint>  graph arrays for remote executors
+    POST /v1/fleet/register             join (or rejoin) the fleet
+    POST /v1/fleet/heartbeat            liveness beat + lease renewal
+    POST /v1/fleet/claim?               long-poll work pull (body timeout)
+    POST /v1/fleet/commit               deliver finished records (idempotent)
+    POST /v1/fleet/deregister           graceful fleet exit
 
 Long-polls wait server-side up to ``min(timeout, MAX_POLL_SECONDS)`` per
 round and return ``done=False`` for the client to re-arm, so a dead client
@@ -45,8 +52,10 @@ from repro.errors import (
     ReproError,
     ServerStoppingError,
     ServingError,
+    UnknownExecutorError,
     UnknownJobError,
 )
+from repro.runtime.parallel import record_from_dict
 from repro.serving.server import NavigationServer
 from repro.serving.transport.protocol import (
     API_PREFIX,
@@ -58,6 +67,16 @@ from repro.serving.transport.protocol import (
     CancelResponse,
     DrainResponse,
     EventsResponse,
+    FleetClaimRequest,
+    FleetClaimResponse,
+    FleetCommitRequest,
+    FleetCommitResponse,
+    FleetGraphResponse,
+    FleetHeartbeatRequest,
+    FleetHeartbeatResponse,
+    FleetRegisterRequest,
+    FleetRegisterResponse,
+    FleetStatusResponse,
     MetricsResponse,
     ResultResponse,
     StatsResponse,
@@ -65,7 +84,9 @@ from repro.serving.transport.protocol import (
     SubmitResponse,
     encode_error,
     error_body,
+    graph_to_wire,
     parse_json,
+    task_to_wire,
 )
 from repro.serving.types import JobStatus, NavigationRequest
 
@@ -74,7 +95,7 @@ __all__ = ["NavigationHTTPServer"]
 
 def _http_status(exc: ReproError) -> int:
     """HTTP status code for a typed serving error."""
-    if isinstance(exc, UnknownJobError):
+    if isinstance(exc, (UnknownJobError, UnknownExecutorError)):
         return 404
     if isinstance(exc, ProtocolError):
         return 400
@@ -173,6 +194,21 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(
                     200, MetricsResponse(nav.metrics.snapshot()).to_wire()
                 )
+            elif parts == ["fleet"]:
+                census = nav.fleet.status()
+                self._reply(
+                    200,
+                    FleetStatusResponse(
+                        executors=census["executors"],
+                        pending=census["pending"],
+                        leased=census["leased"],
+                    ).to_wire(),
+                )
+            elif len(parts) == 3 and parts[0] == "fleet" and parts[1] == "graph":
+                graph = nav.fleet.graph(parts[2])
+                self._reply(
+                    200, FleetGraphResponse(graph_to_wire(graph)).to_wire()
+                )
             elif parts == ["jobs"]:
                 payload = {
                     "protocol": PROTOCOL_VERSION,
@@ -230,10 +266,85 @@ class _Handler(BaseHTTPRequestHandler):
                     self._query_timeout(query)
                 )
                 self._reply(200, response.to_wire())
+            elif len(parts) == 2 and parts[0] == "fleet":
+                self._fleet_post(parts[1], raw)
             else:
                 raise UnknownJobError(f"unknown endpoint {self.path!r}")
         except Exception as exc:  # noqa: BLE001
             self._reply_error(exc)
+
+    def _fleet_post(self, action: str, raw: bytes) -> None:
+        """Dispatch one ``POST /v1/fleet/<action>`` to the dispatcher."""
+        fleet = self.server.transport.navigation.fleet
+        if action == "register":
+            request = FleetRegisterRequest.from_wire(parse_json(raw))
+            info = fleet.register(
+                workers=request.workers, executor_id=request.executor_id
+            )
+            self._reply(
+                200,
+                FleetRegisterResponse(
+                    executor_id=info.executor_id,
+                    heartbeat_seconds=fleet.heartbeat_interval,
+                    lease_ttl=fleet.lease_ttl,
+                ).to_wire(),
+            )
+        elif action == "heartbeat":
+            request = FleetHeartbeatRequest.from_wire(parse_json(raw))
+            renewed = fleet.heartbeat(request.executor_id)
+            self._reply(200, FleetHeartbeatResponse(renewed=renewed).to_wire())
+        elif action == "claim":
+            request = FleetClaimRequest.from_wire(parse_json(raw))
+            grant = fleet.claim(
+                request.executor_id,
+                max_candidates=request.max_candidates,
+                timeout=min(request.timeout, MAX_POLL_SECONDS),
+            )
+            self._reply(
+                200,
+                FleetClaimResponse(
+                    lease_id=grant.lease_id,
+                    ttl=grant.ttl,
+                    task=None if grant.task is None else task_to_wire(grant.task),
+                    dataset=grant.dataset,
+                    fingerprint=grant.fingerprint,
+                    keys=list(grant.keys),
+                    configs=[config.to_dict() for config in grant.configs],
+                ).to_wire(),
+            )
+        elif action == "commit":
+            request = FleetCommitRequest.from_wire(
+                parse_json(raw),
+                header_key=self.headers.get(IDEMPOTENCY_HEADER),
+            )
+            try:
+                records = [record_from_dict(r) for r in request.records]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(f"malformed record payload: {exc}") from None
+            outcome = fleet.commit(
+                request.executor_id,
+                request.lease_id,
+                request.keys,
+                records,
+                idempotency_key=request.idempotency_key,
+            )
+            self._reply(
+                200,
+                FleetCommitResponse(
+                    accepted=outcome.accepted,
+                    duplicates=outcome.duplicates,
+                    replayed=outcome.replayed,
+                ).to_wire(),
+            )
+        elif action == "deregister":
+            request = FleetHeartbeatRequest.from_wire(parse_json(raw))
+            existed = fleet.deregister(request.executor_id)
+            self._reply(
+                200,
+                {"protocol": PROTOCOL_VERSION, "deregistered": existed},
+            )
+        else:
+            raise UnknownJobError(f"unknown fleet action {action!r}")
 
 
 class _Server(ThreadingHTTPServer):

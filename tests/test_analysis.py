@@ -795,6 +795,14 @@ class TestSelfCheck:
             "SharedProfilingService._lock",
             "ProfilingStats._lock",
         ) in labels
+        # The fleet dispatcher touches registry liveness and releases
+        # leases under its own lock; both are leaves, so the order stays
+        # acyclic with the rest of the serving stack.
+        assert (
+            "FleetDispatcher._lock",
+            "ExecutorRegistry._lock",
+        ) in labels
+        assert ("FleetDispatcher._lock", "LeaseTable._lock") in labels
 
     def test_known_locks_modeled(self, repo_result):
         locks = {node.label for node in repo_result.graph.nodes}
@@ -806,4 +814,7 @@ class TestSelfCheck:
             "ResultStore._lock",
             "SharedProfilingService._lock",
             "ProfilingStats._lock",
+            "FleetDispatcher._lock",
+            "ExecutorRegistry._lock",
+            "LeaseTable._lock",
         } <= locks

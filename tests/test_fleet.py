@@ -1,0 +1,823 @@
+"""Distributed profiling fleet tests.
+
+Covers the fleet bottom-up: the consistent-hash ring and lease table as
+units, the registry's membership/liveness rules, the wire shapes for the
+``/v1/fleet/*`` endpoints, the dispatcher's claim/commit/expiry semantics
+driven in-process with fabricated records (no training), and finally real
+end-to-end navigations over HTTP — fleet-vs-local result parity, the
+warm-store rerun, idempotent commit replay, and the chaos scenario where
+one of two executors is killed mid-job and the lease machinery hands its
+work to the survivor without losing or duplicating a run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import TaskSpec
+from repro.config.settings import TrainingConfig
+from repro.errors import (
+    ProtocolError,
+    ServingError,
+    UnknownExecutorError,
+)
+from repro.runtime.parallel import (
+    ProfilingService,
+    graph_fingerprint,
+    record_to_dict,
+)
+from repro.serving import NavigationClient, NavigationServer
+from repro.serving.fleet import (
+    ClaimGrant,
+    ExecutorRegistry,
+    FleetClient,
+    FleetDispatcher,
+    HashRing,
+    LeaseTable,
+    ProfilingExecutor,
+)
+from repro.serving.metrics import MetricsRegistry, labeled
+from repro.serving.transport import IDEMPOTENCY_HEADER, NavigationHTTPServer
+from repro.serving.transport.protocol import (
+    PROTOCOL_VERSION,
+    FleetClaimRequest,
+    FleetClaimResponse,
+    FleetCommitRequest,
+    FleetCommitResponse,
+    FleetRegisterRequest,
+    FleetRegisterResponse,
+    graph_from_wire,
+    graph_to_wire,
+    task_from_wire,
+    task_to_wire,
+)
+
+
+def _task(**kwargs) -> TaskSpec:
+    kwargs.setdefault("dataset", "tiny")
+    kwargs.setdefault("arch", "sage")
+    kwargs.setdefault("epochs", 1)
+    return TaskSpec(**kwargs)
+
+
+def _config(base: TrainingConfig, **overrides) -> TrainingConfig:
+    data = base.to_dict()
+    data.update(overrides)
+    return TrainingConfig.from_dict(data)
+
+
+def _post(url: str, body, headers: dict | None = None):
+    """Raw POST; returns (status, payload) without raising on HTTP errors."""
+    data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    request = urllib.request.Request(url, data=data, method="POST")
+    request.add_header("Content-Type", "application/json")
+    for name, value in (headers or {}).items():
+        request.add_header(name, value)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+# ---------------------------------------------------------------- hash ring
+class TestHashRing:
+    def test_empty_ring_routes_nowhere(self):
+        assert HashRing().route("anything") is None
+
+    def test_routing_is_deterministic_and_total(self):
+        ring = HashRing()
+        ring.add("a")
+        ring.add("b")
+        keys = [f"key-{i}" for i in range(200)]
+        first = [ring.route(key) for key in keys]
+        assert set(first) <= {"a", "b"}
+        assert [ring.route(key) for key in keys] == first
+
+    def test_virtual_nodes_spread_load(self):
+        ring = HashRing(replicas=64)
+        for node in ("a", "b", "c"):
+            ring.add(node)
+        owners = {ring.route(f"key-{i}") for i in range(300)}
+        assert owners == {"a", "b", "c"}
+
+    def test_removal_only_remaps_the_lost_arcs(self):
+        ring = HashRing()
+        ring.add("a")
+        ring.add("b")
+        keys = [f"key-{i}" for i in range(200)]
+        before = {key: ring.route(key) for key in keys}
+        ring.remove("b")
+        assert len(ring) == 1
+        for key in keys:
+            if before[key] == "a":  # survivors keep their arcs
+                assert ring.route(key) == "a"
+            else:  # orphans all land on the survivor
+                assert ring.route(key) == "a"
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(replicas=8)
+        ring.add("a")
+        ring.add("a")
+        assert len(ring) == 1
+        ring.remove("a")
+        assert ring.route("key") is None
+
+
+# --------------------------------------------------------------- lease table
+class TestLeaseTable:
+    def test_issue_get_release(self):
+        table = LeaseTable()
+        lease = table.issue("ex-0", ["k1", "k2"], ttl=5.0)
+        assert lease.lease_id == "lease-000000"
+        assert lease.keys == ("k1", "k2")
+        assert table.get(lease.lease_id) is lease
+        assert len(table) == 1
+        assert table.release(lease.lease_id) is lease
+        assert table.release(lease.lease_id) is None
+        assert len(table) == 0
+
+    def test_expiry_pops_overdue_leases(self):
+        table = LeaseTable()
+        dead = table.issue("ex-0", ["k1"], ttl=0.01)
+        alive = table.issue("ex-1", ["k2"], ttl=60.0)
+        time.sleep(0.03)
+        expired = table.expired()
+        assert [lease.lease_id for lease in expired] == [dead.lease_id]
+        assert table.get(dead.lease_id) is None
+        assert table.get(alive.lease_id) is not None
+
+    def test_renew_owner_extends_only_that_owner(self):
+        table = LeaseTable()
+        mine = table.issue("ex-0", ["k1"], ttl=0.05)
+        other = table.issue("ex-1", ["k2"], ttl=0.05)
+        assert table.renew_owner("ex-0", ttl=60.0) == 1
+        time.sleep(0.1)
+        expired = {lease.lease_id for lease in table.expired()}
+        assert expired == {other.lease_id}
+        assert table.get(mine.lease_id) is not None
+
+    def test_renewal_never_shortens_a_deadline(self):
+        table = LeaseTable()
+        lease = table.issue("ex-0", ["k1"], ttl=60.0)
+        table.renew_owner("ex-0", ttl=0.001)
+        assert table.get(lease.lease_id).deadline == lease.deadline
+
+
+# ----------------------------------------------------------------- registry
+class TestExecutorRegistry:
+    def test_register_assigns_sequential_ids(self):
+        registry = ExecutorRegistry()
+        assert registry.register(workers=2).executor_id == "ex-0000"
+        assert registry.register(workers=1).executor_id == "ex-0001"
+        assert len(registry) == 2
+
+    def test_touch_unknown_raises(self):
+        registry = ExecutorRegistry()
+        with pytest.raises(UnknownExecutorError):
+            registry.touch("ex-9999")
+
+    def test_reregistration_keeps_counters_and_bumps_generation(self):
+        registry = ExecutorRegistry()
+        info = registry.register(workers=1)
+        info.claims = 7
+        again = registry.register(workers=4, executor_id=info.executor_id)
+        assert again is info
+        assert again.claims == 7
+        assert again.workers == 4
+        assert again.generation == 1
+
+    def test_deregister_and_route(self):
+        registry = ExecutorRegistry()
+        assert registry.route("key") is None
+        info = registry.register()
+        assert registry.route("key") == info.executor_id
+        assert registry.deregister(info.executor_id) is True
+        assert registry.deregister(info.executor_id) is False
+        assert registry.route("key") is None
+
+    def test_live_and_prune_horizons(self):
+        registry = ExecutorRegistry()
+        stale = registry.register()
+        fresh = registry.register()
+        stale.last_seen -= 100.0
+        live = registry.live(horizon=10.0)
+        assert [info.executor_id for info in live] == [fresh.executor_id]
+        removed = registry.prune(horizon=10.0)
+        assert [info.executor_id for info in removed] == [stale.executor_id]
+        assert len(registry) == 1
+
+
+# ------------------------------------------------------------------- wire
+class TestFleetWire:
+    def test_register_round_trip(self):
+        request = FleetRegisterRequest(workers=3, executor_id="ex-0007")
+        assert FleetRegisterRequest.from_wire(request.to_wire()) == request
+        fresh = FleetRegisterRequest(workers=1)
+        wire = fresh.to_wire()
+        assert "executor_id" not in wire
+        assert FleetRegisterRequest.from_wire(wire) == fresh
+        response = FleetRegisterResponse(
+            executor_id="ex-0007", heartbeat_seconds=1.5, lease_ttl=4.5
+        )
+        assert FleetRegisterResponse.from_wire(response.to_wire()) == response
+
+    def test_register_rejects_bad_workers(self):
+        with pytest.raises(ProtocolError):
+            FleetRegisterRequest.from_wire(
+                {"protocol": PROTOCOL_VERSION, "workers": 0}
+            )
+
+    def test_claim_round_trip_and_empty(self):
+        request = FleetClaimRequest(
+            executor_id="ex-0000", max_candidates=4, timeout=2.0
+        )
+        assert FleetClaimRequest.from_wire(request.to_wire()) == request
+        grant = FleetClaimResponse(
+            lease_id="lease-000001",
+            ttl=10.0,
+            task={"dataset": "tiny"},
+            dataset="tiny",
+            fingerprint="abc",
+            keys=["k1"],
+            configs=[{"batch_size": 64}],
+        )
+        back = FleetClaimResponse.from_wire(grant.to_wire())
+        assert back == grant
+        assert not back.empty
+        assert FleetClaimResponse.from_wire(
+            FleetClaimResponse(lease_id=None, ttl=10.0).to_wire()
+        ).empty
+
+    def test_claim_response_rejects_misaligned_batch(self):
+        with pytest.raises(ProtocolError):
+            FleetClaimResponse.from_wire(
+                {
+                    "protocol": PROTOCOL_VERSION,
+                    "lease_id": "lease-000001",
+                    "ttl": 1.0,
+                    "keys": ["k1", "k2"],
+                    "configs": [{}],
+                }
+            )
+
+    def test_commit_round_trip_and_header_fallback(self):
+        request = FleetCommitRequest(
+            executor_id="ex-0000",
+            lease_id="lease-000001",
+            keys=["k1"],
+            records=[{"accuracy": 0.5}],
+            idempotency_key="lease-000001",
+        )
+        assert FleetCommitRequest.from_wire(request.to_wire()) == request
+        # header supplies the key when the body omits it; body wins otherwise
+        bare = FleetCommitRequest(
+            executor_id="ex-0000", lease_id=None, keys=[], records=[]
+        )
+        via_header = FleetCommitRequest.from_wire(
+            bare.to_wire(), header_key="retry-1"
+        )
+        assert via_header.idempotency_key == "retry-1"
+        body_wins = FleetCommitRequest.from_wire(
+            request.to_wire(), header_key="retry-1"
+        )
+        assert body_wins.idempotency_key == "lease-000001"
+        response = FleetCommitResponse(accepted=3, duplicates=1, replayed=True)
+        assert FleetCommitResponse.from_wire(response.to_wire()) == response
+
+    def test_commit_rejects_malformed_batches(self):
+        base = {
+            "protocol": PROTOCOL_VERSION,
+            "executor_id": "ex-0000",
+            "lease_id": None,
+        }
+        with pytest.raises(ProtocolError):
+            FleetCommitRequest.from_wire(
+                dict(base, keys=["k1", "k2"], records=[{}])
+            )
+        with pytest.raises(ProtocolError):
+            FleetCommitRequest.from_wire(
+                dict(base, keys=["k1"], records=["not-a-dict"])
+            )
+
+    def test_task_wire_round_trip(self, tiny_task):
+        assert task_from_wire(task_to_wire(tiny_task)) == tiny_task
+        with pytest.raises(ProtocolError):
+            task_from_wire({"dataset": "tiny"})  # missing fields
+
+    def test_graph_wire_round_trip_preserves_fingerprint(self, small_graph):
+        back = graph_from_wire(graph_to_wire(small_graph))
+        assert graph_fingerprint(back) == graph_fingerprint(small_graph)
+        assert back.num_nodes == small_graph.num_nodes
+        with pytest.raises(ProtocolError):
+            graph_from_wire({"name": "tiny"})  # no arrays at all
+
+
+# ---------------------------------------------------------------- dispatcher
+@pytest.fixture()
+def dispatcher():
+    """A dispatcher over a bare in-memory service (fabricated records —
+    none of these tests run training)."""
+    service = ProfilingService()
+    return FleetDispatcher(service, lease_ttl=0.2, metrics=MetricsRegistry())
+
+
+def _start_batch(dispatcher, task, configs, graph, keys):
+    """Run run_batch on a thread; returns (thread, out-dict)."""
+    out: dict = {}
+
+    def runner():
+        try:
+            out["records"] = dispatcher.run_batch(
+                dispatcher.service, task, configs, graph, keys=keys
+            )
+        except BaseException as exc:  # surfaced by the test, not swallowed
+            out["error"] = exc
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    return thread, out
+
+
+def _finish(thread, out):
+    thread.join(timeout=30.0)
+    assert not thread.is_alive(), "run_batch never completed"
+    if "error" in out:
+        raise out["error"]
+    return out["records"]
+
+
+class TestFleetDispatcher:
+    def test_accepts_only_with_live_executors(
+        self, dispatcher, tiny_task, tiny_config, small_graph
+    ):
+        assert not dispatcher.accepts(tiny_task, [tiny_config], small_graph)
+        info = dispatcher.register(workers=1)
+        assert dispatcher.accepts(tiny_task, [tiny_config], small_graph)
+        dispatcher.deregister(info.executor_id)
+        assert not dispatcher.accepts(tiny_task, [tiny_config], small_graph)
+
+    def test_claim_commit_round_trip(
+        self, dispatcher, tiny_task, tiny_config, small_graph
+    ):
+        info = dispatcher.register(workers=2)
+        assert dispatcher.claim(info.executor_id).empty  # nothing pending
+        configs = [_config(tiny_config, batch_size=b) for b in (32, 64, 128)]
+        keys = ["k-0", "k-1", "k-2"]
+        thread, out = _start_batch(
+            dispatcher, tiny_task, configs, small_graph, keys
+        )
+        grant = dispatcher.claim(info.executor_id, timeout=5.0)
+        assert not grant.empty
+        assert sorted(grant.keys) == keys
+        assert grant.task == tiny_task
+        assert grant.fingerprint == graph_fingerprint(small_graph)
+        assert dispatcher.pending_count == 0
+        assert dispatcher.leased_count == 3
+        records = {key: f"record-for-{key}" for key in grant.keys}
+        outcome = dispatcher.commit(
+            info.executor_id,
+            grant.lease_id,
+            list(grant.keys),
+            [records[key] for key in grant.keys],
+            idempotency_key=grant.lease_id,
+        )
+        assert outcome.accepted == 3
+        assert outcome.duplicates == 0
+        assert not outcome.replayed
+        assert _finish(thread, out) == [records[key] for key in keys]
+        assert dispatcher.service.stats.executed == 3
+        snap = dispatcher.metrics.snapshot()
+        assert snap["fleet_claims"] == 1
+        assert snap["fleet_commits"] == 1
+        assert snap[labeled("fleet_claims", executor=info.executor_id)] == 1
+        assert info.claims == 1 and info.commits == 1
+
+    def test_retried_commit_replays_without_side_effects(
+        self, dispatcher, tiny_task, tiny_config, small_graph
+    ):
+        info = dispatcher.register()
+        thread, out = _start_batch(
+            dispatcher, tiny_task, [tiny_config], small_graph, ["k-0"]
+        )
+        grant = dispatcher.claim(info.executor_id, timeout=5.0)
+        first = dispatcher.commit(
+            info.executor_id,
+            grant.lease_id,
+            list(grant.keys),
+            ["the-record"],
+            idempotency_key=grant.lease_id,
+        )
+        executed = dispatcher.service.stats.executed
+        # the response was "dropped": the executor retries the exact POST
+        second = dispatcher.commit(
+            info.executor_id,
+            grant.lease_id,
+            list(grant.keys),
+            ["the-record"],
+            idempotency_key=grant.lease_id,
+        )
+        assert second.replayed
+        assert (second.accepted, second.duplicates) == (
+            first.accepted,
+            first.duplicates,
+        )
+        assert dispatcher.service.stats.executed == executed  # no double count
+        assert _finish(thread, out) == ["the-record"]
+
+    def test_expired_lease_requeues_and_zombie_commit_is_duplicate(
+        self, dispatcher, tiny_task, tiny_config, small_graph
+    ):
+        zombie = dispatcher.register()
+        thread, out = _start_batch(
+            dispatcher, tiny_task, [tiny_config], small_graph, ["k-0"]
+        )
+        stale = dispatcher.claim(zombie.executor_id, timeout=5.0)
+        assert not stale.empty
+        # the zombie never heartbeats again; the survivor's long-poll spans
+        # the 0.2s TTL (keeping the fleet alive) and picks up the re-queued
+        # keys the moment the sweep expires the stale lease
+        survivor = dispatcher.register()
+        grant = dispatcher.claim(survivor.executor_id, timeout=5.0)
+        assert grant.keys == stale.keys  # the work came back
+        dispatcher.commit(
+            survivor.executor_id,
+            grant.lease_id,
+            list(grant.keys),
+            ["survivor-record"],
+            idempotency_key=grant.lease_id,
+        )
+        executed = dispatcher.service.stats.executed
+        late = dispatcher.commit(
+            zombie.executor_id,
+            stale.lease_id,
+            list(stale.keys),
+            ["zombie-record"],
+            idempotency_key=stale.lease_id,
+        )
+        assert late.accepted == 0
+        assert late.duplicates == 1
+        assert dispatcher.service.stats.executed == executed
+        # the survivor's record won; the zombie's never landed
+        assert _finish(thread, out) == ["survivor-record"]
+        assert dispatcher.metrics.snapshot()["fleet_lease_expiries"] >= 1
+        assert zombie.lease_expiries >= 1
+
+    def test_heartbeat_renews_leases(
+        self, dispatcher, tiny_task, tiny_config, small_graph
+    ):
+        info = dispatcher.register()
+        thread, out = _start_batch(
+            dispatcher, tiny_task, [tiny_config], small_graph, ["k-0"]
+        )
+        grant = dispatcher.claim(info.executor_id, timeout=5.0)
+        deadline = time.monotonic() + 0.6  # 3x the TTL
+        while time.monotonic() < deadline:
+            assert dispatcher.heartbeat(info.executor_id) == 1
+            time.sleep(0.05)
+        assert (
+            dispatcher.metrics.snapshot().get("fleet_lease_expiries", 0) == 0
+        )
+        dispatcher.commit(
+            info.executor_id,
+            grant.lease_id,
+            list(grant.keys),
+            ["kept-alive"],
+            idempotency_key=grant.lease_id,
+        )
+        assert _finish(thread, out) == ["kept-alive"]
+
+    def test_deregister_requeues_immediately(
+        self, dispatcher, tiny_task, tiny_config, small_graph
+    ):
+        leaver = dispatcher.register()
+        thread, out = _start_batch(
+            dispatcher, tiny_task, [tiny_config], small_graph, ["k-0"]
+        )
+        grant = dispatcher.claim(leaver.executor_id, timeout=5.0)
+        assert not grant.empty
+        dispatcher.deregister(leaver.executor_id)  # graceful: no TTL wait
+        assert dispatcher.pending_count == 1
+        taker = dispatcher.register()
+        regrant = dispatcher.claim(taker.executor_id, timeout=5.0)
+        assert regrant.keys == grant.keys
+        dispatcher.commit(
+            taker.executor_id,
+            regrant.lease_id,
+            list(regrant.keys),
+            ["taken-over"],
+            idempotency_key=regrant.lease_id,
+        )
+        assert _finish(thread, out) == ["taken-over"]
+        # the leaver's labeled series are gone, the taker's remain
+        snap = dispatcher.metrics.snapshot()
+        assert labeled("fleet_claims", executor=leaver.executor_id) not in snap
+        assert snap[labeled("fleet_claims", executor=taker.executor_id)] == 1
+
+    def test_dead_fleet_falls_back_to_local_pool(
+        self, dispatcher, tiny_task, tiny_config, small_graph
+    ):
+        info = dispatcher.register()
+        info.last_seen -= 100.0  # the whole fleet went silent
+        key = dispatcher.service._keys(tiny_task, [tiny_config], small_graph)[0]
+        thread, out = _start_batch(
+            dispatcher, tiny_task, [tiny_config.canonical()], small_graph, [key]
+        )
+        records = _finish(thread, out)
+        assert len(records) == 1
+        assert records[0].accuracy >= 0.0  # a real training run happened
+        assert dispatcher.service.stats.executed == 1
+        snap = dispatcher.metrics.snapshot()
+        assert snap["fleet_local_fallbacks"] == 1
+
+    def test_commit_rejects_misaligned_batch(self, dispatcher):
+        info = dispatcher.register()
+        with pytest.raises(ServingError):
+            dispatcher.commit(info.executor_id, None, ["k1", "k2"], ["r1"])
+
+    def test_graph_lookup(
+        self, dispatcher, tiny_task, tiny_config, small_graph
+    ):
+        with pytest.raises(ServingError):
+            dispatcher.graph("no-such-fingerprint")
+        info = dispatcher.register()
+        thread, out = _start_batch(
+            dispatcher, tiny_task, [tiny_config], small_graph, ["k-0"]
+        )
+        grant = dispatcher.claim(info.executor_id, timeout=5.0)
+        assert dispatcher.graph(grant.fingerprint) is small_graph
+        dispatcher.commit(
+            info.executor_id,
+            grant.lease_id,
+            list(grant.keys),
+            ["r"],
+            idempotency_key=grant.lease_id,
+        )
+        _finish(thread, out)
+
+    def test_claim_grant_none_shape(self):
+        empty = ClaimGrant.none(4.0)
+        assert empty.empty
+        assert empty.keys == () and empty.configs == ()
+        assert empty.ttl == 4.0
+
+
+# ------------------------------------------------------------------- metrics
+class TestLabeledMetrics:
+    def test_labeled_rendering_is_key_sorted(self):
+        assert labeled("fleet_claims") == "fleet_claims"
+        assert (
+            labeled("fleet_claims", executor="ex-0000")
+            == 'fleet_claims{executor="ex-0000"}'
+        )
+        assert labeled("x", b="2", a="1") == 'x{a="1",b="2"}'
+
+    def test_remove_forgets_either_kind(self):
+        registry = MetricsRegistry()
+        registry.inc("counter_one")
+        registry.gauge("gauge_one", lambda: 7)
+        assert registry.remove("counter_one") is True
+        assert registry.remove("gauge_one") is True
+        assert registry.remove("never_existed") is False
+        assert registry.snapshot() == {}
+
+
+# ----------------------------------------------------------------- HTTP end
+@pytest.fixture()
+def fleet_stack(small_graph, tmp_path):
+    """A navigation server with a short fleet lease TTL plus its HTTP
+    transport, for executor lifecycle and chaos tests."""
+    server = NavigationServer(
+        workers=2,
+        graphs={"tiny": small_graph},
+        cache_dir=str(tmp_path / "store"),
+        fleet_lease_ttl=1.0,
+    )
+    http = NavigationHTTPServer(server)
+    http.start()
+    yield server, http
+    http.stop()
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def baseline_result(small_graph, tmp_path_factory):
+    """The reference navigation, run entirely locally (no fleet) against a
+    private store — the bit-for-bit yardstick for every fleet run."""
+    server = NavigationServer(
+        workers=2,
+        graphs={"tiny": small_graph},
+        cache_dir=str(tmp_path_factory.mktemp("baseline-store")),
+    )
+    try:
+        yield NavigationClient(server).navigate(
+            _task(), budget=8, profile_epochs=1, timeout=240
+        )
+    finally:
+        server.stop()
+
+
+class TestFleetHTTP:
+    def test_register_heartbeat_claim_deregister(self, fleet_stack):
+        server, http = fleet_stack
+        client = FleetClient(http.url)
+        granted = client.register(workers=2)
+        assert granted.executor_id == "ex-0000"
+        assert granted.lease_ttl == pytest.approx(1.0)
+        assert granted.heartbeat_seconds == pytest.approx(1.0 / 3.0)
+        assert client.heartbeat(granted.executor_id).renewed == 0
+        assert client.claim(granted.executor_id, timeout=0.0).empty
+        census = client.fleet_status()
+        assert [row["executor_id"] for row in census.executors] == ["ex-0000"]
+        assert census.pending == 0 and census.leased == 0
+        assert client.deregister(granted.executor_id) is True
+        with pytest.raises(UnknownExecutorError):
+            client.heartbeat(granted.executor_id)
+
+    def test_unknown_executor_maps_to_404(self, fleet_stack):
+        _, http = fleet_stack
+        code, payload = _post(
+            f"{http.url}/v1/fleet/heartbeat",
+            {"protocol": PROTOCOL_VERSION, "executor_id": "ex-9999"},
+        )
+        assert code == 404
+        assert payload["error"]["kind"] == "UnknownExecutorError"
+
+    def test_malformed_register_is_a_protocol_error(self, fleet_stack):
+        _, http = fleet_stack
+        code, payload = _post(
+            f"{http.url}/v1/fleet/register",
+            {"protocol": PROTOCOL_VERSION, "workers": 0},
+        )
+        assert code == 400
+        assert payload["error"]["kind"] == "ProtocolError"
+
+    def test_graph_fetch_round_trips_by_fingerprint(
+        self, fleet_stack, small_graph
+    ):
+        server, http = fleet_stack
+        fingerprint = graph_fingerprint(small_graph)
+        server.fleet._graphs[fingerprint] = small_graph
+        fetched = FleetClient(http.url).fetch_graph(fingerprint)
+        assert graph_fingerprint(fetched) == fingerprint
+
+    def test_fleet_navigation_matches_local_and_reruns_warm(
+        self, fleet_stack, baseline_result
+    ):
+        server, http = fleet_stack
+        executor = ProfilingExecutor(
+            http.url, workers=2, claim_timeout=0.5
+        )
+        executor.start()
+        try:
+            client = NavigationClient(server)
+            result = client.navigate(
+                _task(), budget=8, profile_epochs=1, timeout=240
+            )
+            # bit-identical to the purely local run
+            assert result.to_dict() == baseline_result.to_dict()
+            # every training run happened on the executor, none on the server
+            assert executor.runs > 0
+            assert executor.committed == executor.runs
+            snap = server.metrics.snapshot()
+            assert snap["fleet_claims"] >= 1
+            assert snap["fleet_commits"] >= 1
+            assert snap.get("fleet_local_fallbacks", 0) == 0
+            assert (
+                snap[labeled("fleet_claims", executor=executor.executor_id)]
+                >= 1
+            )
+            # warm rerun: the store answers, the fleet runs nothing new
+            runs_before = executor.runs
+            again = client.navigate(
+                _task(), budget=8, profile_epochs=1, timeout=240
+            )
+            assert again.to_dict() == result.to_dict()
+            assert executor.runs == runs_before
+        finally:
+            executor.stop()
+        # graceful exit dropped the executor's labeled series
+        snap = server.metrics.snapshot()
+        assert (
+            labeled("fleet_claims", executor=executor.executor_id) not in snap
+        )
+        assert snap["fleet_executors"] == 0
+
+    def test_chaos_killing_an_executor_loses_no_work(
+        self, fleet_stack, baseline_result
+    ):
+        server, http = fleet_stack
+        victim = ProfilingExecutor(http.url, workers=1, claim_timeout=0.5)
+        victim.before_run = lambda grant: victim.kill()  # die on first claim
+        survivor = ProfilingExecutor(http.url, workers=2, claim_timeout=0.5)
+        victim.start()
+        try:
+            handle = NavigationClient(server).submit(
+                _task(), budget=8, profile_epochs=1
+            )
+            # the victim (alone in the fleet) claims the first batch and
+            # vanishes without committing; its lease must expire and the
+            # survivor must pick the work back up
+            deadline = time.monotonic() + 30.0
+            while victim.claimed == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert victim.claimed >= 1
+            survivor.start()
+            result = handle.result(timeout=240)
+        finally:
+            survivor.stop()
+        assert result.to_dict() == baseline_result.to_dict()  # zero lost runs
+        assert victim.committed == 0  # it really died uncommitted
+        assert survivor.committed > 0
+        snap = server.metrics.snapshot()
+        assert snap["fleet_lease_expiries"] >= 1
+
+    def test_idempotent_commit_over_http(
+        self, fleet_stack, small_graph, tiny_config
+    ):
+        server, http = fleet_stack
+        client = FleetClient(http.url)
+        granted = client.register(workers=1)
+
+        # keep our hand-rolled "executor" alive (and its lease renewed)
+        # while the test slowly produces records on a local service
+        beating = threading.Event()
+
+        def heartbeats():
+            while not beating.wait(0.2):
+                client.heartbeat(granted.executor_id)
+
+        beater = threading.Thread(target=heartbeats, daemon=True)
+        beater.start()
+
+        task = _task()
+        configs = [_config(tiny_config, batch_size=b) for b in (32, 64)]
+        batch: dict = {}
+
+        def profile():
+            batch["records"] = server.service.profile(
+                task, configs, graph=small_graph
+            )
+
+        thread = threading.Thread(target=profile, daemon=True)
+        thread.start()
+        grant = client.claim(granted.executor_id, timeout=10.0)
+        assert not grant.empty
+        assert len(grant.keys) == 2
+
+        # run the batch on a local service, exactly as an executor would
+        local = ProfilingService()
+        records = local.profile(
+            task_from_wire(grant.task),
+            [TrainingConfig.from_dict(c) for c in grant.configs],
+            graph=small_graph,
+        )
+        body = FleetCommitRequest(
+            executor_id=granted.executor_id,
+            lease_id=grant.lease_id,
+            keys=list(grant.keys),
+            records=[record_to_dict(record) for record in records],
+            idempotency_key=grant.lease_id,
+        ).to_wire()
+        headers = {IDEMPOTENCY_HEADER: grant.lease_id}
+
+        code, first = _post(f"{http.url}/v1/fleet/commit", body, headers)
+        assert code == 200
+        assert first["accepted"] == 2 and not first["replayed"]
+        executed = server.service.stats.executed
+        stored = len(server.service.store)
+
+        # the "response was lost" retry: byte-identical POST, same key
+        code, second = _post(f"{http.url}/v1/fleet/commit", body, headers)
+        assert code == 200
+        assert second["replayed"] is True
+        assert second["accepted"] == first["accepted"]
+        assert second["duplicates"] == first["duplicates"]
+        assert server.service.stats.executed == executed  # not double-counted
+        assert len(server.service.store) == stored  # not double-written
+
+        thread.join(timeout=60.0)
+        beating.set()
+        assert not thread.is_alive()
+        assert [record_to_dict(r) for r in batch["records"]] == [
+            record_to_dict(r) for r in records
+        ]
+
+    def test_zero_executor_server_runs_locally(self, fleet_stack):
+        server, http = fleet_stack
+        # nobody ever registered: the seam must leave the local path alone
+        result = NavigationClient(server).navigate(
+            _task(), budget=8, profile_epochs=1, timeout=240
+        )
+        assert result.report.num_ground_truth > 0
+        assert server.service.stats.executed > 0  # ran on the server itself
+        snap = server.metrics.snapshot()
+        assert snap.get("fleet_claims", 0) == 0
+        assert snap.get("fleet_commits", 0) == 0
+        assert snap["fleet_executors"] == 0

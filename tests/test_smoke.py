@@ -27,7 +27,14 @@ import pytest
 
 from repro import cli
 from repro.config import TaskSpec
-from repro.serving import JobStatus, NavigationRequest, NavigationServer
+from repro.serving import (
+    JobStatus,
+    NavigationClient,
+    NavigationRequest,
+    NavigationServer,
+)
+from repro.serving.fleet import FleetClient
+from repro.serving.transport import RemoteNavigationClient
 
 pytestmark = pytest.mark.smoke
 
@@ -64,46 +71,50 @@ def jobs_file(tmp_path) -> str:
     return str(path)
 
 
-class _Server:
-    """A real ``repro serve --port`` child process (the two-process smoke)."""
+def _spawn(args: list[str]) -> subprocess.Popen:
+    """Launch one repro CLI child with src/ on its import path."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        args,
+        cwd=str(REPO_ROOT),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
 
-    def __init__(self, store: str | None, *extra: str) -> None:
-        args = [sys.executable, "-m", "repro.cli", "serve", "--port", "0"]
-        args += ["--cache-dir", store] if store else ["--no-store"]
-        args += list(extra)
-        env = dict(os.environ)
-        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
-            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-        )
-        self.proc = subprocess.Popen(
-            args,
-            cwd=str(REPO_ROOT),
-            env=env,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-        )
-        self.url = self._await_url()
 
-    def _await_url(self) -> str:
-        # select + bounded os.read: a child that hangs *before* printing
-        # the banner must trip this 60s deadline with a diagnostic, not
-        # park the test on readline() until the CI job timeout kills it.
-        fd = self.proc.stdout.fileno()
-        deadline = time.monotonic() + 60
-        seen = b""
-        while time.monotonic() < deadline:
-            ready, _, _ = select.select([fd], [], [], 0.1)
-            if ready:
-                chunk = os.read(fd, 65536)
-                if chunk:
-                    seen += chunk
-                    match = re.search(rb"serving on (http://\S+)", seen)
-                    if match:
-                        return match.group(1).decode()
-                    continue
-            if self.proc.poll() is not None:
-                break
-        raise AssertionError(f"server never came up (output: {seen!r})")
+def _await_banner(proc: subprocess.Popen, pattern: bytes) -> str:
+    """First regex group of ``pattern`` from the child's output.
+
+    select + bounded os.read: a child that hangs *before* printing the
+    banner must trip this 60s deadline with a diagnostic, not park the
+    test on readline() until the CI job timeout kills it.
+    """
+    fd = proc.stdout.fileno()
+    deadline = time.monotonic() + 60
+    seen = b""
+    while time.monotonic() < deadline:
+        ready, _, _ = select.select([fd], [], [], 0.1)
+        if ready:
+            chunk = os.read(fd, 65536)
+            if chunk:
+                seen += chunk
+                match = re.search(pattern, seen)
+                if match:
+                    return match.group(1).decode()
+                continue
+        if proc.poll() is not None:
+            break
+    raise AssertionError(f"child never printed its banner (output: {seen!r})")
+
+
+class _Child:
+    """Shared lifecycle for the smoke suite's repro child processes."""
+
+    proc: subprocess.Popen
 
     def stop(self) -> None:
         if self.proc.poll() is None:
@@ -114,11 +125,39 @@ class _Server:
             self.proc.kill()
             self.proc.wait()
 
-    def __enter__(self) -> "_Server":
+    def __enter__(self):
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+
+class _Server(_Child):
+    """A real ``repro serve --port`` child process (the two-process smoke)."""
+
+    def __init__(self, store: str | None, *extra: str) -> None:
+        args = [sys.executable, "-m", "repro.cli", "serve", "--port", "0"]
+        args += ["--cache-dir", store] if store else ["--no-store"]
+        args += list(extra)
+        self.proc = _spawn(args)
+        self.url = _await_banner(self.proc, rb"serving on (http://\S+)")
+
+
+class _Executor(_Child):
+    """A real ``repro executor`` child joined to a server over HTTP."""
+
+    def __init__(self, server_url: str, *extra: str) -> None:
+        args = [
+            sys.executable, "-m", "repro.cli", "executor",
+            "--server", server_url, *extra,
+        ]
+        self.proc = _spawn(args)
+        self.executor_id = _await_banner(self.proc, rb"executor (\S+) joined")
+
+    def kill(self) -> None:
+        """SIGKILL — the chaos path: no deregistration, no final commit."""
+        self.proc.kill()
+        self.proc.wait()
 
 
 def _run_cli(capsys, *argv: str) -> tuple[int, str]:
@@ -246,3 +285,93 @@ def test_cancellation_smoke_running_job(capsys):
     # the victim's event stream ends with its cancellation
     batch = server.events(victim, timeout=0)
     assert batch.done and batch.events[-1].phase == "cancelled"
+
+
+# ----------------------------------------------------------------- fleet smoke
+def test_fleet_smoke_remote_executor_matches_inprocess(tmp_path, capsys):
+    """Two-process fleet smoke: a server plus one remote ``repro executor``
+    over HTTP produces a bit-identical result to the purely in-process
+    path, and a warm restart on the same store — executor attached —
+    executes zero training runs anywhere."""
+    task = TaskSpec(**{
+        k: SMOKE_SPEC[k] for k in ("dataset", "arch", "epochs")
+    })
+
+    # the in-process yardstick (its own throwaway store)
+    with NavigationServer(
+        workers=1, cache_dir=str(tmp_path / "local-store")
+    ) as local:
+        baseline = NavigationClient(local).navigate(
+            task, budget=8, profile_epochs=1, timeout=600
+        )
+
+    store = str(tmp_path / "fleet-store")
+    with _Server(store, "--workers", "2", "--lease-ttl", "5") as server:
+        with _Executor(server.url, "--workers", "2") as executor:
+            result = RemoteNavigationClient(server.url).navigate(
+                task, budget=8, profile_epochs=1, timeout=600
+            )
+            assert result.to_dict() == baseline.to_dict()
+            # the fleet really did the work, visible per executor
+            code, out = _run_cli(capsys, "metrics", "--server", server.url)
+            assert code == 0
+            assert re.search(r"fleet_claims\s+[1-9]", out), out
+            assert re.search(r"fleet_commits\s+[1-9]", out), out
+            assert f'fleet_claims{{executor="{executor.executor_id}"}}' in out
+            code, out = _run_cli(capsys, "fleet", "status",
+                                 "--server", server.url)
+            assert code == 0 and executor.executor_id in out, out
+
+    # warm restart on the same store, fleet attached: all cache hits, so
+    # neither the server nor the executor runs a single candidate
+    with _Server(store, "--workers", "2", "--lease-ttl", "5") as server:
+        with _Executor(server.url, "--workers", "2"):
+            again = RemoteNavigationClient(server.url).navigate(
+                task, budget=8, profile_epochs=1, timeout=600
+            )
+            assert again.to_dict() == baseline.to_dict()
+            code, out = _run_cli(capsys, "stats", "--server", server.url)
+            assert code == 0
+            assert "profiling: 0 runs" in out, out
+
+
+def test_fleet_chaos_smoke_sigkill_mid_job(tmp_path, capsys):
+    """Chaos smoke: SIGKILL one of two remote executors while it holds a
+    lease; the job still completes and the re-issued lease is observable
+    in the server's metrics."""
+    task = TaskSpec(**{
+        k: SMOKE_SPEC[k] for k in ("dataset", "arch", "epochs")
+    })
+    store = str(tmp_path / "chaos-store")
+    with _Server(store, "--workers", "2", "--lease-ttl", "2") as server:
+        with _Executor(
+            server.url, "--workers", "1", "--max-candidates", "2"
+        ) as victim, _Executor(server.url, "--workers", "2") as survivor:
+            client = RemoteNavigationClient(server.url)
+            handle = client.submit(task, budget=8, profile_epochs=1)
+
+            # kill the victim the moment it holds an uncommitted lease
+            fleet = FleetClient(server.url)
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                rows = {
+                    row["executor_id"]: row
+                    for row in fleet.fleet_status().executors
+                }
+                mine = rows.get(victim.executor_id)
+                if mine is not None and mine["leased_keys"] > 0:
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("victim never claimed a lease")
+            victim.kill()
+
+            result = handle.result(timeout=600)
+            assert result.report.num_ground_truth > 0
+            assert survivor.executor_id  # still up
+
+        code, out = _run_cli(capsys, "metrics", "--server", server.url)
+        assert code == 0
+        assert re.search(r"fleet_lease_expiries\s+[1-9]", out), out
+        # the dead executor's lease went back to the fleet, not local
+        assert not re.search(r"fleet_local_fallbacks\s+[1-9]", out), out
