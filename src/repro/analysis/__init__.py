@@ -23,16 +23,21 @@ from .core import (
     build_project,
     discover_files,
 )
+from .dynamic import ObservedGraph, render_dot, verify_dynamic
+from .endptcheck import check_endpoints
 from .lockcheck import check_locks
 from .lockorder import LockOrderGraph, analyze_lock_order
+from .metriccheck import check_metrics
 from .plumbing import check_plumbing
 from .report import AnalysisResult, render_json, render_text
+from .rescheck import check_resources
 from .wirecheck import check_wire
 
 __all__ = [
     "RULES",
     "Finding",
     "LockOrderGraph",
+    "ObservedGraph",
     "AnalysisResult",
     "run_analysis",
     "default_root",
@@ -40,6 +45,7 @@ __all__ = [
     "default_baseline_path",
     "render_text",
     "render_json",
+    "render_dot",
     "render_baseline",
 ]
 
@@ -61,8 +67,15 @@ def run_analysis(
     paths: list[Path],
     root: Path,
     baseline_path: Path | None = None,
+    observed_path: Path | None = None,
 ) -> AnalysisResult:
-    """Run every checker over ``paths`` and partition against the baseline."""
+    """Run every checker over ``paths`` and partition against the baseline.
+
+    ``observed_path`` — a sanitizer report (see
+    :mod:`repro.analysis.sanitizer`) — switches on the dynamic
+    cross-validation: the observed lock graph is diffed against the
+    static LOCK002 graph and DYN001-003 findings join the result.
+    """
     files = discover_files(paths)
     modules = [SourceModule.load(path, root) for path in files]
     project = build_project(modules)
@@ -71,7 +84,16 @@ def run_analysis(
     graph = analyze_lock_order(project, collector)
     check_wire(project, collector)
     check_plumbing(project, collector)
-    findings = sorted(collector.findings, key=lambda f: f.sort_key)
+    check_endpoints(project, collector)
+    check_metrics(project, collector)
+    check_resources(project, collector)
+    findings = list(collector.findings)
+    dynamic = None
+    if observed_path is not None:
+        observed = ObservedGraph.load(observed_path)
+        dynamic, dyn_findings = verify_dynamic(graph, observed)
+        findings.extend(dyn_findings)
+    findings = sorted(findings, key=lambda f: f.sort_key)
     accepted = load_baseline(baseline_path)
     new, baselined, stale = split_findings(findings, accepted)
     return AnalysisResult(
@@ -82,4 +104,5 @@ def run_analysis(
         suppressed=len(collector.suppressed),
         files=len(files),
         graph=graph,
+        dynamic=dynamic,
     )

@@ -25,6 +25,7 @@ from . import (
     run_analysis,
 )
 from .baseline import render_baseline
+from .dynamic import render_dot
 from .report import render_json, render_rules, render_text
 
 __all__ = ["add_lint_arguments", "run_lint", "main"]
@@ -61,16 +62,33 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "dot"),
         default="text",
-        help="output format (default: text)",
+        help=(
+            "output format (default: text; `dot` renders the merged "
+            "static+observed lock graph for Graphviz)"
+        ),
     )
     parser.add_argument(
         "--graph",
         type=Path,
         default=None,
         metavar="PATH",
-        help="also write the lock-order graph report to PATH",
+        help=(
+            "also write the lock-order graph report to PATH "
+            "(DOT when --format dot, text otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "--verify-dynamic",
+        type=Path,
+        default=None,
+        metavar="OBSERVED",
+        help=(
+            "cross-validate a runtime sanitizer report (see "
+            "repro.analysis.sanitizer) against the static LOCK002 graph; "
+            "observed edges missing from the static graph fail the run"
+        ),
     )
     parser.add_argument(
         "--rules",
@@ -91,7 +109,12 @@ def run_lint(args: argparse.Namespace) -> int:
     else:
         baseline_path = args.baseline or default_baseline_path(root)
 
-    result = run_analysis(paths, root, baseline_path=baseline_path)
+    result = run_analysis(
+        paths,
+        root,
+        baseline_path=baseline_path,
+        observed_path=args.verify_dynamic,
+    )
 
     if args.fix_baseline:
         target = args.baseline or default_baseline_path(root)
@@ -101,12 +124,20 @@ def run_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
+    observed = result.dynamic.observed if result.dynamic else None
     if args.graph is not None:
         args.graph.parent.mkdir(parents=True, exist_ok=True)
-        args.graph.write_text(result.graph.render(), encoding="utf-8")
+        if args.format == "dot":
+            args.graph.write_text(
+                render_dot(result.graph, observed), encoding="utf-8"
+            )
+        else:
+            args.graph.write_text(result.graph.render(), encoding="utf-8")
 
     if args.format == "json":
         sys.stdout.write(json.dumps(render_json(result), indent=2) + "\n")
+    elif args.format == "dot":
+        sys.stdout.write(render_dot(result.graph, observed))
     else:
         sys.stdout.write(render_text(result))
     return 0 if result.ok else 1

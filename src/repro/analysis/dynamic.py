@@ -1,0 +1,302 @@
+"""Cross-validate the observed (runtime) lock graph against LOCK002.
+
+:mod:`repro.analysis.sanitizer` writes an observed lock-order graph from
+a real run; ``repro lint --verify-dynamic OBSERVED.json`` loads it here
+and diffs it against the static LOCK002 graph:
+
+* an observed edge **missing from the static graph** is a static-analyzer
+  blind spot (unresolved receiver, callback indirection…) — DYN001, an
+  error: the static acyclicity proof silently excludes that edge;
+* a static edge **never exercised** at runtime is a coverage gap — listed
+  in the report, not a finding (the run simply didn't drive that path);
+* the **merged** graph (static ∪ observed) must stay acyclic — DYN002;
+* runtime order-inversion / re-acquire findings recorded by the
+  sanitizer re-surface as DYN003 (blocking-sleep and hold-budget
+  findings are summarized but don't fail the run — they are load- and
+  host-dependent).
+
+``render_dot`` emits the merged graph in Graphviz DOT form
+(``repro lint --format dot``): solid black edges were proven statically
+*and* observed live, dashed gray edges are static-only (unexercised),
+red edges are observed-only (analyzer gaps).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core import RULES, Finding
+from .lockorder import LockEdge, LockOrderGraph
+from .sanitizer import REPORT_VERSION
+
+__all__ = [
+    "ObservedEdge",
+    "ObservedGraph",
+    "DynamicDiff",
+    "find_label_cycles",
+    "verify_dynamic",
+    "render_dot",
+]
+
+
+@dataclass(frozen=True)
+class ObservedEdge:
+    """``src`` was held while ``dst`` was acquired, at runtime."""
+
+    src: str
+    dst: str
+    count: int = 1
+    site: str = ""
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.src, self.dst)
+
+
+@dataclass
+class ObservedGraph:
+    """One sanitizer report: locks, edges, runtime findings."""
+
+    locks: list[dict] = field(default_factory=list)
+    edges: list[ObservedEdge] = field(default_factory=list)
+    findings: list[dict] = field(default_factory=list)
+    hold_budget_s: float | None = None
+    source: str = "<observed>"
+
+    @classmethod
+    def from_dict(cls, payload: dict, source: str = "<observed>") -> "ObservedGraph":
+        version = payload.get("version")
+        if version != REPORT_VERSION:
+            raise ValueError(
+                f"unsupported observed-graph version {version!r} in {source} "
+                f"(expected {REPORT_VERSION})"
+            )
+        edges = [
+            ObservedEdge(
+                src=str(edge["src"]),
+                dst=str(edge["dst"]),
+                count=int(edge.get("count", 1)),
+                site=str(edge.get("site", "")),
+            )
+            for edge in payload.get("edges", [])
+        ]
+        return cls(
+            locks=list(payload.get("locks", [])),
+            edges=edges,
+            findings=list(payload.get("findings", [])),
+            hold_budget_s=payload.get("hold_budget_s"),
+            source=source,
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "ObservedGraph":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(payload, source=Path(path).as_posix())
+
+
+@dataclass
+class DynamicDiff:
+    """The observed-vs-static comparison ``verify-dynamic`` reports."""
+
+    observed: ObservedGraph
+    matched: list[ObservedEdge] = field(default_factory=list)
+    missing_static: list[ObservedEdge] = field(default_factory=list)
+    unexercised: list[LockEdge] = field(default_factory=list)
+    merged_cycles: list[list[str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing_static and not self.merged_cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.observed.source,
+            "observed_edges": len(self.observed.edges),
+            "matched": [e.pair for e in self.matched],
+            "missing_from_static": [
+                {"src": e.src, "dst": e.dst, "count": e.count, "site": e.site}
+                for e in self.missing_static
+            ],
+            "unexercised_static": [
+                {"src": e.src.label, "dst": e.dst.label,
+                 "path": e.path, "line": e.line}
+                for e in self.unexercised
+            ],
+            "merged_acyclic": not self.merged_cycles,
+            "merged_cycles": self.merged_cycles,
+            "runtime_findings": len(self.observed.findings),
+        }
+
+
+def find_label_cycles(
+    pairs: set[tuple[str, str]]
+) -> list[list[str]]:
+    """Distinct elementary cycles in a string-labeled edge set (DFS, one
+    witness per back edge — the merged-graph analogue of lockorder's
+    ``_find_cycles``)."""
+    adjacency: dict[str, list[str]] = {}
+    nodes: set[str] = set()
+    for src, dst in sorted(pairs):
+        adjacency.setdefault(src, []).append(dst)
+        nodes.update((src, dst))
+    cycles: list[list[str]] = []
+    seen_keys: set[tuple[str, ...]] = set()
+    color: dict[str, int] = {}  # 0/absent=white, 1=on stack, 2=done
+    stack: list[str] = []
+
+    def visit(node: str) -> None:
+        color[node] = 1
+        stack.append(node)
+        for nxt in adjacency.get(node, ()):
+            state = color.get(nxt, 0)
+            if state == 0:
+                visit(nxt)
+            elif state == 1:
+                cycle = stack[stack.index(nxt):]
+                pivot = cycle.index(min(cycle))
+                canonical = tuple(cycle[pivot:] + cycle[:pivot])
+                if canonical not in seen_keys:
+                    seen_keys.add(canonical)
+                    cycles.append(list(canonical))
+        stack.pop()
+        color[node] = 2
+
+    for node in sorted(nodes):
+        if color.get(node, 0) == 0:
+            visit(node)
+    return cycles
+
+
+#: runtime finding kinds that re-surface as lint errors (DYN003).  The
+#: load-dependent kinds (blocking-sleep, hold-budget) stay report-only.
+_ERROR_KINDS = ("order-inversion", "re-acquire")
+
+
+def verify_dynamic(
+    graph: LockOrderGraph, observed: ObservedGraph
+) -> tuple[DynamicDiff, list[Finding]]:
+    """Diff observed vs static edges; findings for gaps and merged cycles."""
+    static_pairs = {(e.src.label, e.dst.label): e for e in graph.edges}
+    diff = DynamicDiff(observed=observed)
+    observed_pairs: set[tuple[str, str]] = set()
+    for edge in sorted(observed.edges, key=lambda e: e.pair):
+        observed_pairs.add(edge.pair)
+        if edge.pair in static_pairs:
+            diff.matched.append(edge)
+        else:
+            diff.missing_static.append(edge)
+    exercised = {e.pair for e in diff.matched}
+    diff.unexercised = [
+        edge
+        for edge in graph.edges
+        if (edge.src.label, edge.dst.label) not in exercised
+    ]
+    merged = set(static_pairs) | observed_pairs
+    diff.merged_cycles = [
+        cycle for cycle in find_label_cycles(merged)
+    ]
+
+    findings: list[Finding] = []
+    path = observed.source
+    for edge in diff.missing_static:
+        findings.append(
+            Finding(
+                path=path,
+                line=1,
+                rule="DYN001",
+                message=(
+                    f"observed lock-order edge {edge.src} -> {edge.dst} "
+                    f"(runtime site {edge.site or 'unknown'}, "
+                    f"{edge.count} acquisition(s)) is missing from the "
+                    f"static LOCK002 graph"
+                ),
+                severity=RULES["DYN001"][0],
+            )
+        )
+    for cycle in diff.merged_cycles:
+        loop = " -> ".join(cycle)
+        findings.append(
+            Finding(
+                path=path,
+                line=1,
+                rule="DYN002",
+                message=(
+                    f"merged static+observed lock graph has a cycle: "
+                    f"{loop} -> {cycle[0]}"
+                ),
+                severity=RULES["DYN002"][0],
+            )
+        )
+    for raw in observed.findings:
+        if raw.get("kind") in _ERROR_KINDS:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=1,
+                    rule="DYN003",
+                    message=(
+                        f"runtime sanitizer [{raw.get('kind')}] "
+                        f"{raw.get('message', '')} "
+                        f"(thread {raw.get('thread', '?')}, "
+                        f"site {raw.get('site', '?')})"
+                    ),
+                    severity=RULES["DYN003"][0],
+                )
+            )
+    return diff, findings
+
+
+def _dot_quote(label: str) -> str:
+    return '"' + label.replace('"', '\\"') + '"'
+
+
+def render_dot(
+    graph: LockOrderGraph, observed: ObservedGraph | None = None
+) -> str:
+    """Graphviz DOT for the static graph, merged with the observed graph
+    when one is given (``repro lint --format dot | dot -Tsvg``)."""
+    static_pairs = {(e.src.label, e.dst.label): e for e in graph.edges}
+    observed_pairs: dict[tuple[str, str], ObservedEdge] = {}
+    if observed is not None:
+        for edge in observed.edges:
+            observed_pairs.setdefault(edge.pair, edge)
+    nodes = {node.label for node in graph.nodes}
+    for src, dst in observed_pairs:
+        nodes.update((src, dst))
+    lines = [
+        "digraph lock_order {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace", fontsize=10];',
+        '  edge [fontname="monospace", fontsize=9];',
+    ]
+    for label in sorted(nodes):
+        lines.append(f"  {_dot_quote(label)};")
+    for pair in sorted(set(static_pairs) | set(observed_pairs)):
+        src, dst = pair
+        attrs: list[str] = []
+        if pair in static_pairs and pair in observed_pairs:
+            count = observed_pairs[pair].count
+            attrs = [
+                "color=black",
+                "penwidth=1.6",
+                f'label="{count}x"',
+            ]
+        elif pair in static_pairs:
+            attrs = ["color=gray50"]
+            if observed is not None:
+                attrs += ["style=dashed", 'label="unexercised"']
+        else:
+            count = observed_pairs[pair].count
+            attrs = [
+                "color=red",
+                "penwidth=1.6",
+                f'label="observed only ({count}x)"',
+            ]
+        lines.append(
+            f"  {_dot_quote(src)} -> {_dot_quote(dst)} "
+            f"[{', '.join(attrs)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,139 @@
+"""ENDPT001/002: wire dataclass ↔ HTTP route ↔ client method parity.
+
+The transport keeps three things in sync by hand: the request/response
+dataclasses in ``protocol.py``, the routes ``_Handler`` registers, and
+the ``RemoteNavigationClient``/``FleetClient`` methods that speak them.
+Drift is silent — an unparsed request dataclass or a route that replies
+with a raw dict literal ships untyped bytes nobody round-trip-checks.
+
+Module roles are detected structurally, not by filename: a *handler
+module* defines a class deriving from ``BaseHTTPRequestHandler``; a
+*client module* defines a class with a ``_call`` method (or a subclass
+of one, e.g. ``FleetClient(RemoteNavigationClient)``).  Wire dataclasses
+are the ``*Request`` / ``*Response`` dataclasses of any analyzed
+``protocol.py``.
+
+* ENDPT001 — a request dataclass whose ``X.from_wire`` is never called
+  in a handler module (no registered route accepts it), or which is
+  never constructed in a client module (nothing sends it).
+* ENDPT002 — a response dataclass never constructed in a handler module
+  (no route emits it) or whose ``from_wire`` no client calls (the reply
+  shape is unchecked); plus orphan routes: a handler ``_reply`` whose
+  payload is a raw dict literal instead of a protocol dataclass.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Collector, Project, SourceModule, dotted_name
+
+__all__ = ["check_endpoints"]
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None:
+            names.add(name.rsplit(".", maxsplit=1)[-1])
+    return names
+
+
+def check_endpoints(project: Project, collector: Collector) -> None:
+    protocol_mods = [
+        m for m in project.modules if m.relpath.endswith("protocol.py")
+    ]
+    if not protocol_mods:
+        return
+
+    handler_mods: set[int] = set()
+    client_mods: set[int] = set()
+    for models in project.classes.values():
+        for cls in models:
+            bases = _base_names(cls.node)
+            if "BaseHTTPRequestHandler" in bases:
+                handler_mods.add(id(cls.module))
+            if "_call" in cls.methods:
+                client_mods.add(id(cls.module))
+            else:
+                for base in bases:
+                    parent = project.class_named(base)
+                    if parent is not None and "_call" in parent.methods:
+                        client_mods.add(id(cls.module))
+                        break
+
+    from_wire: dict[str, set[int]] = {}
+    constructed: dict[str, set[int]] = {}
+    dict_replies: list[tuple[SourceModule, int]] = []
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr == "from_wire" and isinstance(
+                    func.value, ast.Name
+                ):
+                    from_wire.setdefault(func.value.id, set()).add(id(module))
+                elif (
+                    func.attr == "_reply"
+                    and id(module) in handler_mods
+                    and len(node.args) >= 2
+                    and isinstance(node.args[1], ast.Dict)
+                ):
+                    dict_replies.append((module, node.lineno))
+            elif isinstance(func, ast.Name):
+                constructed.setdefault(func.id, set()).add(id(module))
+
+    for name in sorted(project.classes):
+        for cls in project.classes[name]:
+            if cls.module not in protocol_mods or not cls.is_dataclass:
+                continue
+            line = cls.node.lineno
+            if name.endswith("Request"):
+                if not (from_wire.get(name, set()) & handler_mods):
+                    collector.emit(
+                        cls.module,
+                        line,
+                        "ENDPT001",
+                        f"request dataclass '{name}' is never parsed by an "
+                        f"HTTP handler (no registered route calls "
+                        f"{name}.from_wire)",
+                    )
+                if not (constructed.get(name, set()) & client_mods):
+                    collector.emit(
+                        cls.module,
+                        line,
+                        "ENDPT001",
+                        f"request dataclass '{name}' is never constructed "
+                        f"by a client (no client method sends it)",
+                    )
+            elif name.endswith("Response"):
+                if not (constructed.get(name, set()) & handler_mods):
+                    collector.emit(
+                        cls.module,
+                        line,
+                        "ENDPT002",
+                        f"response dataclass '{name}' is never constructed "
+                        f"by an HTTP handler (no route replies with it)",
+                    )
+                if not (from_wire.get(name, set()) & client_mods):
+                    collector.emit(
+                        cls.module,
+                        line,
+                        "ENDPT002",
+                        f"response dataclass '{name}' is never parsed by a "
+                        f"client (its wire shape is unchecked; no client "
+                        f"calls {name}.from_wire)",
+                    )
+
+    for module, line in dict_replies:
+        collector.emit(
+            module,
+            line,
+            "ENDPT002",
+            "route replies with a raw dict literal instead of a protocol "
+            "response dataclass (orphan route: the wire shape is untyped "
+            "and unchecked)",
+        )

@@ -1,0 +1,275 @@
+"""METRIC001/002: metric-registry hygiene across the serving layer.
+
+``MetricsRegistry`` is stringly-typed: nothing stops two call sites from
+registering the same family with different kinds, inconsistent label
+sets, or per-entity labeled series that are never removed when the
+entity goes away (an unbounded series leak — exactly the bug class the
+fleet's per-executor metrics invited).  This checker resolves the metric
+*names* statically, including the two loop idioms the codebase uses:
+
+* f-string families over a constant tuple::
+
+      for name in ("executed", "cache_hits"):
+          self.metrics.gauge(f"profiling_{name}", ...)
+
+* module-level tuples driving labeled removal::
+
+      _EXECUTOR_METRICS = ("fleet_claims", ...)
+      for name in _EXECUTOR_METRICS:
+          self.metrics.remove(labeled(name, executor=executor_id))
+
+Names it cannot resolve to constants (e.g. ``f"jobs_{status.value}"``)
+are silently skipped — best-effort, no false positives.
+
+Call sites count when the receiver is typed ``MetricsRegistry`` (via
+:class:`~repro.analysis.core.TypeEnv`) or is a ``*.metrics`` attribute.
+
+* METRIC001 — family name not snake_case; one family used as both a
+  counter and a gauge; a gauge family registered at more than one site.
+* METRIC002 — one family used with inconsistent label-key sets (or
+  mixed labeled/unlabeled); a labeled family that is never ``remove``d
+  anywhere (per-entity series leak).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from itertools import product
+
+from .core import (
+    Collector,
+    FunctionModel,
+    Project,
+    SourceModule,
+    TypeEnv,
+    dotted_name,
+)
+
+__all__ = ["check_metrics"]
+
+_SNAKE_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def _str_tuple(node: ast.AST | None) -> tuple[str, ...] | None:
+    """``("a", "b")`` / ``["a", "b"]`` -> the string tuple, else None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: list[str] = []
+    for elt in node.elts:
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+            values.append(elt.value)
+        else:
+            return None
+    return tuple(values)
+
+
+def _module_tuples(module: SourceModule) -> dict[str, tuple[str, ...]]:
+    """Module-level ``NAME = ("a", "b", ...)`` constant tuples."""
+    out: dict[str, tuple[str, ...]] = {}
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            values = _str_tuple(node.value)
+            if values is not None:
+                out[node.targets[0].id] = values
+    return out
+
+
+class _NameResolver:
+    """Resolve a metric-name expression to its possible constant values."""
+
+    def __init__(
+        self,
+        func: FunctionModel,
+        module_tuples: dict[str, tuple[str, ...]],
+    ) -> None:
+        self.bindings: dict[str, tuple[str, ...]] = {}
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.For) or not isinstance(
+                node.target, ast.Name
+            ):
+                continue
+            values = _str_tuple(node.iter)
+            if values is None and isinstance(node.iter, ast.Name):
+                values = module_tuples.get(node.iter.id)
+            if values is not None:
+                self.bindings[node.target.id] = values
+
+    def resolve(self, node: ast.AST) -> tuple[str, ...] | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return (node.value,)
+        if isinstance(node, ast.Name):
+            return self.bindings.get(node.id)
+        if isinstance(node, ast.JoinedStr):
+            parts: list[tuple[str, ...]] = []
+            for value in node.values:
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    parts.append((value.value,))
+                elif isinstance(value, ast.FormattedValue):
+                    resolved = self.resolve(value.value)
+                    if resolved is None:
+                        return None
+                    parts.append(resolved)
+                else:
+                    return None
+            return tuple("".join(combo) for combo in product(*parts))
+        return None
+
+
+def _is_metrics_receiver(expr: ast.AST, env: TypeEnv) -> bool:
+    if env.type_of(expr) == "MetricsRegistry":
+        return True
+    name = dotted_name(expr)
+    return (
+        name is not None
+        and name.rsplit(".", maxsplit=1)[-1] == "metrics"
+    )
+
+
+def _labeled_call(node: ast.AST) -> ast.Call | None:
+    """The ``labeled(name, **labels)`` call, when ``node`` is one."""
+    if not isinstance(node, ast.Call) or not node.args:
+        return None
+    name = dotted_name(node.func)
+    if name is not None and name.rsplit(".", maxsplit=1)[-1] == "labeled":
+        return node
+    return None
+
+
+class _Family:
+    """Everything observed about one metric family name."""
+
+    __slots__ = ("first", "kinds", "gauge_sites", "label_sets", "labeled")
+
+    def __init__(self, module: SourceModule, line: int) -> None:
+        self.first = (module, line)
+        self.kinds: dict[str, tuple[SourceModule, int]] = {}
+        self.gauge_sites: set[tuple[str, int]] = set()
+        self.label_sets: dict[frozenset | None, tuple[SourceModule, int]] = {}
+        self.labeled = False
+
+
+def check_metrics(project: Project, collector: Collector) -> None:
+    families: dict[str, _Family] = {}
+    removed: set[str] = set()
+    tuples_by_module = {
+        id(module): _module_tuples(module) for module in project.modules
+    }
+
+    for models in project.functions.values():
+        for func in models:
+            env = TypeEnv(project, func)
+            resolver = _NameResolver(
+                func, tuples_by_module[id(func.module)]
+            )
+            for node in ast.walk(func.node):
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    env.record_assign(node)
+                    continue
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = node.func
+                if not isinstance(fn, ast.Attribute) or fn.attr not in (
+                    "inc",
+                    "gauge",
+                    "remove",
+                ):
+                    continue
+                if not node.args or not _is_metrics_receiver(fn.value, env):
+                    continue
+                arg = node.args[0]
+                labeled = _labeled_call(arg)
+                if labeled is not None:
+                    name_expr = labeled.args[0]
+                    keys = frozenset(
+                        kw.arg for kw in labeled.keywords if kw.arg
+                    )
+                else:
+                    name_expr = arg
+                    keys = None
+                names = resolver.resolve(name_expr)
+                if names is None:
+                    continue  # dynamic name — best-effort skip
+                for name in names:
+                    if fn.attr == "remove":
+                        removed.add(name)
+                        continue
+                    family = families.get(name)
+                    if family is None:
+                        family = families[name] = _Family(
+                            func.module, node.lineno
+                        )
+                    kind = "counter" if fn.attr == "inc" else "gauge"
+                    family.kinds.setdefault(kind, (func.module, node.lineno))
+                    if kind == "gauge":
+                        family.gauge_sites.add(
+                            (func.module.relpath, node.lineno)
+                        )
+                    family.label_sets.setdefault(
+                        keys, (func.module, node.lineno)
+                    )
+                    if keys:
+                        family.labeled = True
+
+    for name in sorted(families):
+        family = families[name]
+        module, line = family.first
+        if not _SNAKE_RE.match(name):
+            collector.emit(
+                module,
+                line,
+                "METRIC001",
+                f"metric family '{name}' is not snake_case "
+                f"(expected ^[a-z][a-z0-9_]*$)",
+            )
+        if len(family.kinds) > 1:
+            counter_mod, counter_line = family.kinds["counter"]
+            gauge_mod, gauge_line = family.kinds["gauge"]
+            collector.emit(
+                gauge_mod,
+                gauge_line,
+                "METRIC001",
+                f"metric family '{name}' is used as both a counter "
+                f"({counter_mod.relpath}:{counter_line}) and a gauge",
+            )
+        if len(family.gauge_sites) > 1:
+            sites = ", ".join(
+                f"{path}:{lineno}"
+                for path, lineno in sorted(family.gauge_sites)
+            )
+            collector.emit(
+                module,
+                line,
+                "METRIC001",
+                f"gauge family '{name}' is registered at "
+                f"{len(family.gauge_sites)} sites ({sites}); later "
+                f"registrations silently replace earlier ones",
+            )
+        if len(family.label_sets) > 1:
+            rendered = sorted(
+                "(unlabeled)" if keys is None else
+                "{" + ", ".join(sorted(keys)) + "}"
+                for keys in family.label_sets
+            )
+            collector.emit(
+                module,
+                line,
+                "METRIC002",
+                f"metric family '{name}' is used with inconsistent label "
+                f"sets: {', '.join(rendered)}",
+            )
+        if family.labeled and name not in removed:
+            collector.emit(
+                module,
+                line,
+                "METRIC002",
+                f"labeled metric family '{name}' is never removed: "
+                f"per-entity series leak (remove the labeled series when "
+                f"the entity deregisters)",
+            )

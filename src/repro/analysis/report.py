@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .core import RULES, Finding
+from .dynamic import DynamicDiff
 from .lockorder import LockOrderGraph
 
 __all__ = ["AnalysisResult", "render_text", "render_json", "render_rules"]
@@ -26,6 +27,8 @@ class AnalysisResult:
     suppressed: int = 0
     files: int = 0
     graph: LockOrderGraph = field(default_factory=LockOrderGraph)
+    #: observed-vs-static diff when ``--verify-dynamic`` ran, else None.
+    dynamic: DynamicDiff | None = None
 
     @property
     def ok(self) -> bool:
@@ -56,11 +59,32 @@ def render_text(result: AnalysisResult) -> str:
         f"lock-order graph: {len(result.graph.nodes)} locks, "
         f"{len(result.graph.edges)} edges, {cycles}"
     )
+    if result.dynamic is not None:
+        diff = result.dynamic
+        merged = "acyclic" if not diff.merged_cycles else (
+            f"{len(diff.merged_cycles)} CYCLE(S)"
+        )
+        lines.append(
+            f"dynamic verify ({diff.observed.source}): "
+            f"{len(diff.observed.edges)} observed edge(s) — "
+            f"{len(diff.matched)} matched, "
+            f"{len(diff.missing_static)} missing from static, "
+            f"{len(diff.unexercised)} static edge(s) unexercised; "
+            f"merged graph {merged}; "
+            f"{len(diff.observed.findings)} runtime finding(s)"
+        )
+        if diff.unexercised:
+            lines.append("unexercised static edges (coverage gaps):")
+            lines.extend(
+                f"  {edge.src.label} -> {edge.dst.label}  "
+                f"({edge.path}:{edge.line})"
+                for edge in diff.unexercised
+            )
     return "\n".join(lines) + "\n"
 
 
 def render_json(result: AnalysisResult) -> dict:
-    return {
+    payload = {
         "ok": result.ok,
         "files": result.files,
         "summary": {
@@ -75,6 +99,9 @@ def render_json(result: AnalysisResult) -> dict:
         "stale": list(result.stale),
         "lock_order": result.graph.to_dict(),
     }
+    if result.dynamic is not None:
+        payload["dynamic"] = result.dynamic.to_dict()
+    return payload
 
 
 def render_rules() -> str:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.analysis.cli import add_lint_arguments, run_lint
@@ -763,7 +764,23 @@ def _cmd_datasets() -> int:
     return 0
 
 
+def _maybe_sanitize() -> None:
+    """Honor ``REPRO_SANITIZE=1``: run under the runtime lockdep and write
+    the observed lock graph (``REPRO_SANITIZE_REPORT``) at exit."""
+    from repro.analysis import sanitizer
+
+    if not sanitizer.enabled_from_env():
+        return
+    san = sanitizer.enable()
+    report = os.environ.get("REPRO_SANITIZE_REPORT", "")
+    if report:
+        import atexit
+
+        atexit.register(san.write_report, report)
+
+
 def main(argv: list[str] | None = None) -> int:
+    _maybe_sanitize()
     args = build_parser().parse_args(argv)
     if args.command == "navigate":
         return _cmd_navigate(args)

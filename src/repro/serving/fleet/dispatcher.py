@@ -43,7 +43,7 @@ from repro.errors import ServingError, UnknownExecutorError
 from repro.graphs.csr import CSRGraph
 from repro.serving.fleet.leases import LeaseTable
 from repro.serving.fleet.registry import ExecutorInfo, ExecutorRegistry
-from repro.serving.metrics import labeled
+from repro.serving.metrics import MetricsRegistry, labeled
 
 __all__ = ["ClaimGrant", "CommitOutcome", "FleetDispatcher"]
 
@@ -158,7 +158,7 @@ class FleetDispatcher:
         *,
         lease_ttl: float = 10.0,
         max_batch: int = 8,
-        metrics=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if lease_ttl <= 0:
             raise ServingError("lease_ttl must be positive")
@@ -186,6 +186,10 @@ class FleetDispatcher:
             OrderedDict()
         )  # guarded-by: _lock
         self._replay_cap = 4096
+        #: background lease sweeper; started lazily on first register() so
+        #: fleets that never form pay nothing.  Created/read under _lock.
+        self._sweeper: threading.Thread | None = None  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         service.runner = self
 
     # ----------------------------------------------------------- membership
@@ -207,6 +211,7 @@ class FleetDispatcher:
                 info.age,
             )
         with self._cond:
+            self._ensure_sweeper_locked()
             self._cond.notify_all()  # run_batch loops re-check accepts()
         return info
 
@@ -303,6 +308,10 @@ class FleetDispatcher:
                 if not alive:
                     break
                 with self._cond:
+                    # Bounded by ``poll`` (a fraction of the lease TTL): the
+                    # loop must wake even if every executor dies silently
+                    # between commits, so the dead-fleet fallback below can
+                    # take over; commits notify_all() to end the wait early.
                     self._cond.wait(poll)
 
             # Dead-fleet fallback: run what's left on the local pool.  The
@@ -411,10 +420,19 @@ class FleetDispatcher:
                     grant = None
                     remaining = deadline - time.monotonic()
                     if remaining > 0:
+                        # Bounded by the long-poll deadline and by ``poll``
+                        # so every wake re-runs the sweep (expired leases
+                        # re-queue keys this claim may then grab) and
+                        # re-touches the registry before sleeping again.
                         self._cond.wait(min(poll, remaining))
             if grant is not None:
                 if self.metrics is not None:
-                    self.metrics.inc("fleet_claims")
+                    # Fleet counters are kept as an unlabeled total plus a
+                    # per-executor labeled breakdown on purpose: the total
+                    # survives executor churn (labeled series are removed
+                    # on deregister/prune), so dashboards never lose
+                    # history.  METRIC002 flags the mixed label sets.
+                    self.metrics.inc("fleet_claims")  # lint: disable=METRIC002
                     self.metrics.inc(
                         labeled("fleet_claims", executor=executor_id)
                     )
@@ -525,7 +543,8 @@ class FleetDispatcher:
                     self._replays.popitem(last=False)
             self._cond.notify_all()
         if self.metrics is not None:
-            self.metrics.inc("fleet_commits")
+            # Total + per-executor breakdown, as for fleet_claims above.
+            self.metrics.inc("fleet_commits")  # lint: disable=METRIC002
             if duplicates:
                 self.metrics.inc("fleet_commit_duplicates", duplicates)
             if info is not None:
@@ -560,6 +579,44 @@ class FleetDispatcher:
             requeued += 1
         return requeued
 
+    def _ensure_sweeper_locked(self) -> None:  # holds: _lock
+        """Start the background lease sweeper on first fleet membership.
+
+        Claim long-polls sweep inline, but a fleet whose every executor
+        died (or stopped polling) would otherwise never expire its leases
+        or prune its registry; the sweeper guarantees progress regardless.
+        """
+        if self._sweeper is not None or self._closed:
+            return
+        self._sweeper = threading.Thread(
+            target=self._sweep_loop, name="fleet-sweep", daemon=True
+        )
+        self._sweeper.start()
+
+    def _sweep_loop(self) -> None:
+        poll = max(0.05, self.lease_ttl / 4.0)
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                self._sweep_locked()
+                # Bounded by ``poll`` (a fraction of the lease TTL) so
+                # expiry/prune latency is bounded even when no claim is
+                # polling; close() flips _closed and notify_all()s, so
+                # shutdown never waits a full poll interval.
+                self._cond.wait(poll)
+
+    def close(self) -> None:
+        """Stop the sweeper (idempotent).  Registered executors stay
+        registered — the dispatcher can keep serving inline sweeps — but
+        no background thread survives this call."""
+        with self._cond:
+            self._closed = True
+            sweeper = self._sweeper
+            self._cond.notify_all()
+        if sweeper is not None:
+            sweeper.join(timeout=5.0)  # outside the lock: the loop needs it
+
     def _sweep_locked(self) -> None:  # holds: _lock
         """Expire overdue leases (re-queue their keys) and prune executors
         silent past the horizon (their metrics go with them)."""
@@ -569,7 +626,10 @@ class FleetDispatcher:
             if info is not None:
                 info.lease_expiries += 1
             if self.metrics is not None:
-                self.metrics.inc("fleet_lease_expiries")
+                # Total + per-executor breakdown, as for fleet_claims above.
+                self.metrics.inc(  # lint: disable=METRIC002
+                    "fleet_lease_expiries"
+                )
                 self.metrics.inc(
                     labeled(
                         "fleet_lease_expiries", executor=lease.executor_id

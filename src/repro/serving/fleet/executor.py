@@ -43,6 +43,7 @@ from repro.serving.transport.protocol import (
     FleetClaimResponse,
     FleetCommitRequest,
     FleetCommitResponse,
+    FleetDeregisterResponse,
     FleetGraphResponse,
     FleetHeartbeatRequest,
     FleetHeartbeatResponse,
@@ -143,7 +144,7 @@ class FleetClient(RemoteNavigationClient):
         payload = self._call(
             "POST", "/fleet/deregister", body=request.to_wire()
         )
-        return bool(payload.get("deregistered"))
+        return FleetDeregisterResponse.from_wire(payload).deregistered
 
     def fleet_status(self) -> FleetStatusResponse:
         """The server's fleet census (``repro fleet status``)."""

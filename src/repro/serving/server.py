@@ -249,6 +249,7 @@ class NavigationServer:
         with self._lock:
             self._stopping = True
         self.queue.close()
+        self.fleet.close()  # stop the lease sweeper before joining workers
         for thread in self._threads:
             thread.join()
         self._threads = []

@@ -45,6 +45,7 @@ from repro.serving.transport.protocol import (
     CancelResponse,
     DrainResponse,
     EventsResponse,
+    HealthResponse,
     MetricsResponse,
     ResultResponse,
     StatsResponse,
@@ -230,7 +231,9 @@ class RemoteNavigationClient:
     # ------------------------------------------------------------------ API
     def health(self) -> dict:
         """Liveness probe; raises :class:`ServingError` when unreachable."""
-        return self._call("GET", "/health", retry=True)
+        payload = self._call("GET", "/health", retry=True)
+        HealthResponse.from_wire(payload)  # validate the wire shape
+        return payload
 
     def submit(
         self, task: TaskSpec | NavigationRequest, **kwargs

@@ -88,6 +88,8 @@ __all__ = [
     "FleetCommitResponse",
     "FleetGraphResponse",
     "FleetStatusResponse",
+    "FleetDeregisterResponse",
+    "HealthResponse",
 ]
 
 #: wire-format version; embedded in the URL namespace (``/v1``) and echoed
@@ -874,4 +876,44 @@ class FleetStatusResponse:
             executors=list(payload["executors"]),
             pending=int(payload.get("pending", 0)),
             leased=int(payload.get("leased", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class FleetDeregisterResponse:
+    """``POST /v1/fleet/deregister``: whether the executor was known."""
+
+    deregistered: bool
+
+    def to_wire(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "deregistered": self.deregistered,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FleetDeregisterResponse":
+        check_protocol(payload)
+        return cls(deregistered=bool(payload.get("deregistered")))
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    """``GET /v1/health``: liveness plus the resident job count."""
+
+    ok: bool
+    jobs: int
+
+    def to_wire(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "ok": self.ok,
+            "jobs": self.jobs,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "HealthResponse":
+        check_protocol(payload)
+        return cls(
+            ok=bool(payload.get("ok")), jobs=int(payload.get("jobs", 0))
         )

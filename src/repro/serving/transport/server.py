@@ -71,12 +71,14 @@ from repro.serving.transport.protocol import (
     FleetClaimResponse,
     FleetCommitRequest,
     FleetCommitResponse,
+    FleetDeregisterResponse,
     FleetGraphResponse,
     FleetHeartbeatRequest,
     FleetHeartbeatResponse,
     FleetRegisterRequest,
     FleetRegisterResponse,
     FleetStatusResponse,
+    HealthResponse,
     MetricsResponse,
     ResultResponse,
     StatsResponse,
@@ -182,11 +184,7 @@ class _Handler(BaseHTTPRequestHandler):
             if parts == ["health"]:
                 self._reply(
                     200,
-                    {
-                        "ok": True,
-                        "protocol": PROTOCOL_VERSION,
-                        "jobs": len(nav.jobs()),
-                    },
+                    HealthResponse(ok=True, jobs=len(nav.jobs())).to_wire(),
                 )
             elif parts == ["stats"]:
                 self._reply(200, self.server.transport._stats().to_wire())
@@ -340,8 +338,7 @@ class _Handler(BaseHTTPRequestHandler):
             request = FleetHeartbeatRequest.from_wire(parse_json(raw))
             existed = fleet.deregister(request.executor_id)
             self._reply(
-                200,
-                {"protocol": PROTOCOL_VERSION, "deregistered": existed},
+                200, FleetDeregisterResponse(deregistered=existed).to_wire()
             )
         else:
             raise UnknownJobError(f"unknown fleet action {action!r}")

@@ -1,4 +1,11 @@
-"""Shared fixtures: small deterministic graphs and tasks."""
+"""Shared fixtures: small deterministic graphs and tasks.
+
+Also the runtime-lockdep hook-up: ``pytest --sanitize-locks`` (or
+``REPRO_SANITIZE=1``) runs the whole session under
+:mod:`repro.analysis.sanitizer` and ``--sanitize-report PATH`` (or
+``REPRO_SANITIZE_REPORT``) writes the observed lock graph for
+``repro lint --verify-dynamic PATH``.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +15,49 @@ import pytest
 from repro.config.settings import TaskSpec, TrainingConfig
 from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import powerlaw_community_graph
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--sanitize-locks",
+        action="store_true",
+        default=False,
+        help="run the suite under the repro runtime lock sanitizer",
+    )
+    group.addoption(
+        "--sanitize-report",
+        default=None,
+        metavar="PATH",
+        help="write the observed lock graph (implies --sanitize-locks)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_sanitizer(request: pytest.FixtureRequest):
+    """Session-wide sanitizer when asked for; a no-op (zero overhead,
+    nothing patched) otherwise."""
+    from repro.analysis import sanitizer
+
+    report = request.config.getoption("--sanitize-report")
+    wanted = (
+        request.config.getoption("--sanitize-locks")
+        or report is not None
+        or sanitizer.enabled_from_env()
+    )
+    if not wanted:
+        yield None
+        return
+    san = sanitizer.enable()
+    try:
+        yield san
+    finally:
+        sanitizer.disable()
+        import os
+
+        report = report or os.environ.get("REPRO_SANITIZE_REPORT") or None
+        if report:
+            san.write_report(report)
 
 
 @pytest.fixture(scope="session")

@@ -657,6 +657,334 @@ class TestPlumbing:
         assert rules_fired(result) == {"PLUMB001"}
 
 
+def analyze_files(tmp_path: Path, files: dict[str, str]):
+    """Write a multi-module fixture project and analyze the whole tree."""
+    for name, source in files.items():
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_analysis([tmp_path], tmp_path)
+
+
+_ENDPT_PROTOCOL = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class PingRequest:
+        nonce: int
+
+    @dataclass(frozen=True)
+    class PingResponse:
+        nonce: int
+"""
+
+
+# ---------------------------------------------------------------- ENDPT001/2
+class TestEndpointParity:
+    def test_unrouted_request_and_response_fire(self, tmp_path):
+        result = analyze_files(
+            tmp_path,
+            {
+                "protocol.py": _ENDPT_PROTOCOL,
+                "handler.py": """
+                    from http.server import BaseHTTPRequestHandler
+
+                    class Handler(BaseHTTPRequestHandler):
+                        def do_GET(self):
+                            pass
+                """,
+                "client.py": """
+                    class Client:
+                        def _call(self, method, path):
+                            return {}
+                """,
+            },
+        )
+        assert rules_fired(result) == {"ENDPT001", "ENDPT002"}
+        messages = " ".join(f.message for f in result.findings)
+        assert "PingRequest" in messages
+        assert "PingResponse" in messages
+        assert len(result.findings) == 4  # both sides of both dataclasses
+
+    def test_orphan_dict_literal_route_fires(self, tmp_path):
+        result = analyze_files(
+            tmp_path,
+            {
+                "handler.py": """
+                    from http.server import BaseHTTPRequestHandler
+
+                    class Handler(BaseHTTPRequestHandler):
+                        def do_GET(self):
+                            self._reply(200, {"ok": True})
+                """,
+                "protocol.py": "",
+            },
+        )
+        assert rules_fired(result) == {"ENDPT002"}
+        assert "raw dict literal" in result.findings[0].message
+
+    def test_full_parity_passes(self, tmp_path):
+        result = analyze_files(
+            tmp_path,
+            {
+                "protocol.py": _ENDPT_PROTOCOL,
+                "handler.py": """
+                    from http.server import BaseHTTPRequestHandler
+                    from protocol import PingRequest, PingResponse
+
+                    class Handler(BaseHTTPRequestHandler):
+                        def do_POST(self):
+                            request = PingRequest.from_wire({})
+                            self._reply(
+                                200, PingResponse(request.nonce).to_wire()
+                            )
+                """,
+                "client.py": """
+                    from protocol import PingRequest, PingResponse
+
+                    class Client:
+                        def _call(self, method, path, body):
+                            return {}
+
+                        def ping(self, nonce):
+                            payload = self._call(
+                                "POST", "/ping", PingRequest(nonce).to_wire()
+                            )
+                            return PingResponse.from_wire(payload)
+                """,
+            },
+        )
+        assert rules_fired(result) == set()
+
+    def test_client_subclass_counts(self, tmp_path):
+        # FleetClient(RemoteNavigationClient) has no _call of its own; the
+        # base's makes its module a client module.
+        result = analyze_files(
+            tmp_path,
+            {
+                "protocol.py": _ENDPT_PROTOCOL,
+                "handler.py": """
+                    from http.server import BaseHTTPRequestHandler
+                    from protocol import PingRequest, PingResponse
+
+                    class Handler(BaseHTTPRequestHandler):
+                        def do_POST(self):
+                            request = PingRequest.from_wire({})
+                            self._reply(
+                                200, PingResponse(request.nonce).to_wire()
+                            )
+                """,
+                "client.py": """
+                    class BaseClient:
+                        def _call(self, method, path, body):
+                            return {}
+                """,
+                "subclient.py": """
+                    from client import BaseClient
+                    from protocol import PingRequest, PingResponse
+
+                    class PingClient(BaseClient):
+                        def ping(self, nonce):
+                            payload = self._call(
+                                "POST", "/ping", PingRequest(nonce).to_wire()
+                            )
+                            return PingResponse.from_wire(payload)
+                """,
+            },
+        )
+        assert rules_fired(result) == set()
+
+
+# --------------------------------------------------------------- METRIC001/2
+class TestMetricHygiene:
+    def test_bad_name_and_kind_conflict_fire(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            class Service:
+                def observe(self):
+                    self.metrics.inc("BadName")
+                    self.metrics.inc("requests")
+                    self.metrics.gauge("requests", lambda: 0)
+            """,
+        )
+        assert rules_fired(result) == {"METRIC001"}
+        messages = " ".join(f.message for f in result.findings)
+        assert "not snake_case" in messages
+        assert "both a counter" in messages
+
+    def test_duplicate_gauge_registration_fires(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            class Service:
+                def bind_a(self):
+                    self.metrics.gauge("depth", lambda: 1)
+
+                def bind_b(self):
+                    self.metrics.gauge("depth", lambda: 2)
+            """,
+        )
+        assert rules_fired(result) == {"METRIC001"}
+        assert "2 sites" in result.findings[0].message
+
+    def test_label_mixing_and_leak_fire(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            def labeled(name, **labels):
+                return name
+
+            class Service:
+                def observe(self, executor_id):
+                    self.metrics.inc("claims")
+                    self.metrics.inc(labeled("claims", executor=executor_id))
+            """,
+        )
+        assert rules_fired(result) == {"METRIC002"}
+        messages = " ".join(f.message for f in result.findings)
+        assert "inconsistent label sets" in messages
+        assert "never removed" in messages
+
+    def test_removed_labeled_family_passes(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            def labeled(name, **labels):
+                return name
+
+            class Service:
+                def observe(self, executor_id):
+                    self.metrics.inc(labeled("claims", executor=executor_id))
+
+                def forget(self, executor_id):
+                    self.metrics.remove(
+                        labeled("claims", executor=executor_id)
+                    )
+            """,
+        )
+        assert rules_fired(result) == set()
+
+    def test_fstring_loop_family_resolved(self, tmp_path):
+        # The f-string-over-constant-tuple idiom the server's gauge
+        # binding uses must resolve to concrete names.
+        result = analyze_source(
+            tmp_path,
+            """
+            class Service:
+                def bind(self):
+                    for name in ("executed", "Hits"):
+                        self.metrics.gauge(f"profiling_{name}", lambda: 0)
+            """,
+        )
+        assert rules_fired(result) == {"METRIC001"}
+        assert "profiling_Hits" in result.findings[0].message
+
+    def test_dynamic_names_skipped(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            class Service:
+                def observe(self, status):
+                    self.metrics.inc(f"jobs_{status.value}")
+            """,
+        )
+        assert rules_fired(result) == set()
+
+
+# -------------------------------------------------------------------- RES001
+class TestResourceLifecycle:
+    def test_unjoined_thread_fires(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Runner:
+                def launch(self):
+                    self._worker = threading.Thread(target=self._loop)
+                    self._worker.start()
+            """,
+        )
+        assert rules_fired(result) == {"RES001"}
+        assert "without daemon=True" in result.findings[0].message
+
+    def test_daemon_thread_passes(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Runner:
+                def launch(self):
+                    self._worker = threading.Thread(
+                        target=self._loop, daemon=True
+                    )
+                    self._worker.start()
+            """,
+        )
+        assert rules_fired(result) == set()
+
+    def test_joined_elsewhere_in_class_passes(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Runner:
+                def launch(self):
+                    self._worker = threading.Thread(target=self._loop)
+                    self._worker.start()
+
+                def close(self):
+                    self._worker.join()
+            """,
+        )
+        assert rules_fired(result) == set()
+
+    def test_unshutdown_pool_fires(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run(fn):
+                pool = ThreadPoolExecutor(max_workers=2)
+                return pool.submit(fn)
+            """,
+        )
+        assert rules_fired(result) == {"RES001"}
+        assert "ThreadPoolExecutor" in result.findings[0].message
+
+    def test_pool_with_block_passes(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run(fn):
+                with ThreadPoolExecutor(max_workers=2) as pool:
+                    return pool.submit(fn).result()
+            """,
+        )
+        assert rules_fired(result) == set()
+
+    def test_pool_shutdown_in_scope_passes(self, tmp_path):
+        result = analyze_source(
+            tmp_path,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run(fn):
+                pool = ThreadPoolExecutor(max_workers=2)
+                try:
+                    return pool.submit(fn).result()
+                finally:
+                    pool.shutdown()
+            """,
+        )
+        assert rules_fired(result) == set()
+
+
 # ------------------------------------------------------------------ baseline
 class TestBaseline:
     def _findings(self):
@@ -803,6 +1131,13 @@ class TestSelfCheck:
             "ExecutorRegistry._lock",
         ) in labels
         assert ("FleetDispatcher._lock", "LeaseTable._lock") in labels
+        # The lease sweeper bumps expiry counters under the dispatcher
+        # lock; the typed ``metrics`` parameter is what lets LOCK002
+        # resolve the call (the runtime sanitizer observes this edge).
+        assert (
+            "FleetDispatcher._lock",
+            "MetricsRegistry._lock",
+        ) in labels
 
     def test_known_locks_modeled(self, repo_result):
         locks = {node.label for node in repo_result.graph.nodes}

@@ -1,0 +1,518 @@
+"""Runtime lockdep (repro.analysis.sanitizer) and its cross-validation
+against the static LOCK002 graph (repro.analysis.dynamic).
+
+Every sanitizer test builds its own :class:`LockSanitizer` with the tests
+directory as an extra tracking root and tears it down in ``finally`` —
+instances nest, so these pass unchanged under a session-wide sanitizer
+(``pytest --sanitize-locks``)."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.cli import main as lint_main
+from repro.analysis.dynamic import (
+    ObservedGraph,
+    find_label_cycles,
+    render_dot,
+    verify_dynamic,
+)
+from repro.analysis.sanitizer import (
+    REPORT_VERSION,
+    LockSanitizer,
+    _TrackedLock,
+)
+
+_TESTS_DIR = str(Path(__file__).resolve().parent)
+
+
+@pytest.fixture()
+def san():
+    sanitizer = LockSanitizer(hold_budget=30.0, include=[_TESTS_DIR])
+    sanitizer.enable()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.disable()
+
+
+class _Pair:
+    """Two named locks; the sanitizer labels them ``_Pair.a`` / ``_Pair.b``."""
+
+    def __init__(self):
+        self.a = threading.Lock()
+        self.b = threading.Lock()
+
+
+# -------------------------------------------------------------- observation
+class TestObservation:
+    def test_nested_acquire_records_edge(self, san):
+        pair = _Pair()
+        with pair.a:
+            with pair.b:
+                pass
+        report = san.report()
+        assert report["version"] == REPORT_VERSION
+        labels = {lock["label"] for lock in report["locks"]}
+        assert {"_Pair.a", "_Pair.b"} <= labels
+        edges = {(e["src"], e["dst"]) for e in report["edges"]}
+        assert ("_Pair.a", "_Pair.b") in edges
+        assert report["findings"] == []
+
+    def test_consistent_order_is_clean(self, san):
+        pair = _Pair()
+        for _ in range(3):
+            with pair.a:
+                with pair.b:
+                    pass
+        assert san.findings == []
+        [edge] = san.report()["edges"]
+        assert edge["count"] == 3
+
+    def test_creation_site_and_acquire_stats(self, san):
+        pair = _Pair()
+        with pair.a:
+            pass
+        lock_a = next(
+            lock for lock in san.report()["locks"]
+            if lock["label"] == "_Pair.a"
+        )
+        assert lock_a["kind"] == "lock"
+        assert lock_a["acquisitions"] == 1
+        assert "test_sanitizer.py" in lock_a["site"]
+
+    def test_locks_outside_roots_stay_raw(self):
+        sanitizer = LockSanitizer()  # repro package only — not tests/
+        sanitizer.enable()
+        try:
+            lock = threading.Lock()
+        finally:
+            sanitizer.disable()
+        assert not isinstance(lock, _TrackedLock)
+
+    def test_stdlib_composites_stay_raw(self, san):
+        # threading.Event() builds its Condition/Lock inside threading.py;
+        # the sanitizer must not track (or mislabel) those internals.
+        event = threading.Event()
+        event.set()
+        assert event.is_set()
+        assert san.report()["locks"] == []
+
+
+# ----------------------------------------------------------------- findings
+class TestFindings:
+    def test_inverted_order_in_fixture_thread_reported(self, san):
+        pair = _Pair()
+        with pair.a:
+            with pair.b:
+                pass
+
+        def invert():
+            with pair.b:
+                with pair.a:
+                    pass
+
+        thread = threading.Thread(target=invert, name="inverter")
+        thread.start()
+        thread.join()
+        kinds = [f.kind for f in san.findings]
+        assert kinds == ["order-inversion"]
+        finding = san.findings[0]
+        assert "_Pair.a" in finding.message
+        assert "_Pair.b" in finding.message
+        assert finding.thread == "inverter"
+
+    def test_reacquire_nonreentrant_reported(self, san):
+        pair = _Pair()
+        assert pair.a.acquire()
+        try:
+            # A timeout keeps the guaranteed self-deadlock bounded; the
+            # sanitizer reports before delegating to the real lock.
+            assert pair.a.acquire(timeout=0.05) is False
+        finally:
+            pair.a.release()
+        kinds = [f.kind for f in san.findings]
+        assert kinds == ["re-acquire"]
+
+    def test_rlock_reentry_is_clean(self, san):
+        class _Nest:
+            def __init__(self):
+                self.lock = threading.RLock()
+
+        nest = _Nest()
+        with nest.lock:
+            with nest.lock:
+                pass
+        assert san.findings == []
+        lock = next(
+            entry for entry in san.report()["locks"]
+            if entry["label"] == "_Nest.lock"
+        )
+        assert lock["kind"] == "rlock"
+
+    def test_sleep_under_lock_reported(self, san):
+        pair = _Pair()
+        with pair.a:
+            time.sleep(0.001)
+        kinds = [f.kind for f in san.findings]
+        assert kinds == ["blocking-sleep"]
+        assert "_Pair.a" in san.findings[0].message
+
+    def test_sleep_outside_lock_is_clean(self, san):
+        time.sleep(0.001)
+        assert san.findings == []
+
+    def test_hold_budget_violation_reported(self):
+        sanitizer = LockSanitizer(hold_budget=0.0, include=[_TESTS_DIR])
+        sanitizer.enable()
+        try:
+            pair = _Pair()
+            with pair.a:
+                deadline = time.monotonic() + 0.005
+                while time.monotonic() < deadline:  # busy: sleep is a finding
+                    pass
+        finally:
+            sanitizer.disable()
+        kinds = [f.kind for f in sanitizer.findings]
+        assert kinds == ["hold-budget"]
+
+    def test_findings_deduplicate(self, san):
+        pair = _Pair()
+        for _ in range(5):
+            with pair.a:
+                time.sleep(0.0)
+        assert len(san.findings) == 1
+
+
+# ---------------------------------------------------------------- condition
+class TestCondition:
+    def test_condition_wait_roundtrip(self, san):
+        class _Box:
+            def __init__(self):
+                self.cond = threading.Condition()
+
+        box = _Box()
+        with box.cond:
+            box.cond.wait(0.01)
+            box.cond.notify_all()
+        assert san.findings == []
+        lock = next(
+            entry for entry in san.report()["locks"]
+            if entry["label"] == "_Box.cond"
+        )
+        assert lock["kind"] == "condition"
+        assert lock["acquisitions"] >= 2  # entry + wait re-acquire
+
+    def test_condition_over_tracked_lock(self, san):
+        class _Guard:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.cond = threading.Condition(self.lock)
+
+        guard = _Guard()
+        with guard.cond:
+            guard.cond.wait(0.01)
+        with guard.lock:
+            pass
+        assert san.findings == []
+
+
+# ---------------------------------------------------------------- lifecycle
+class TestLifecycle:
+    def test_enable_disable_restores_factories(self):
+        before = (threading.Lock, threading.RLock, threading.Condition,
+                  time.sleep)
+        sanitizer = LockSanitizer(include=[_TESTS_DIR])
+        sanitizer.enable()
+        assert threading.Lock is not before[0]
+        sanitizer.disable()
+        after = (threading.Lock, threading.RLock, threading.Condition,
+                 time.sleep)
+        assert after == before
+
+    def test_nested_sanitizers_restore_in_order(self):
+        before = threading.Lock
+        outer = LockSanitizer(include=[_TESTS_DIR])
+        inner = LockSanitizer(include=[_TESTS_DIR])
+        outer.enable()
+        outer_factory = threading.Lock
+        inner.enable()
+        inner.disable()
+        assert threading.Lock is outer_factory  # outer still in force
+        outer.disable()
+        assert threading.Lock is before
+
+    def test_tracked_locks_survive_disable(self, san):
+        pair = _Pair()
+        san.disable()
+        with pair.a:  # wrapper outlives the patch window; must still work
+            pass
+        san.enable()
+        assert any(
+            lock["label"] == "_Pair.a" for lock in san.report()["locks"]
+        )
+
+
+# ------------------------------------------------------------ report I/O
+class TestReportRoundtrip:
+    def test_write_report_loads_as_observed_graph(self, san, tmp_path):
+        pair = _Pair()
+        with pair.a:
+            with pair.b:
+                pass
+        path = san.write_report(tmp_path / "observed.json")
+        observed = ObservedGraph.load(path)
+        assert [e.pair for e in observed.edges] == [("_Pair.a", "_Pair.b")]
+        assert observed.source.endswith("observed.json")
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            ObservedGraph.load(path)
+
+
+# ------------------------------------------------------------ verify-dynamic
+_STATIC_FIXTURE = """
+    import threading
+
+    class Svc:
+        def __init__(self):
+            self.a = threading.Lock()
+            self.b = threading.Lock()
+
+        def go(self):
+            with self.a:
+                with self.b:
+                    pass
+"""
+
+
+def _static_graph(tmp_path: Path):
+    mod = tmp_path / "svc.py"
+    mod.write_text(textwrap.dedent(_STATIC_FIXTURE), encoding="utf-8")
+    return mod, run_analysis([mod], tmp_path).graph
+
+
+def _observed(edges, findings=()):
+    return ObservedGraph.from_dict(
+        {
+            "version": REPORT_VERSION,
+            "hold_budget_s": 1.0,
+            "locks": [],
+            "edges": [
+                {"src": src, "dst": dst, "count": 1, "site": "svc.py:1"}
+                for src, dst in edges
+            ],
+            "findings": list(findings),
+        },
+        source="observed.json",
+    )
+
+
+class TestVerifyDynamic:
+    def test_matched_edges_are_ok(self, tmp_path):
+        _, graph = _static_graph(tmp_path)
+        diff, findings = verify_dynamic(
+            graph, _observed([("Svc.a", "Svc.b")])
+        )
+        assert diff.ok
+        assert findings == []
+        assert [e.pair for e in diff.matched] == [("Svc.a", "Svc.b")]
+        assert diff.unexercised == []
+
+    def test_observed_edge_missing_from_static_fires_dyn001(self, tmp_path):
+        _, graph = _static_graph(tmp_path)
+        diff, findings = verify_dynamic(
+            graph, _observed([("Svc.a", "Svc.b"), ("Svc.b", "Svc.c")])
+        )
+        assert not diff.ok
+        assert [f.rule for f in findings] == ["DYN001"]
+        assert "Svc.b -> Svc.c" in findings[0].message
+
+    def test_merged_cycle_fires_dyn002(self, tmp_path):
+        _, graph = _static_graph(tmp_path)
+        diff, findings = verify_dynamic(
+            graph, _observed([("Svc.b", "Svc.a")])
+        )
+        assert diff.merged_cycles == [["Svc.a", "Svc.b"]]
+        assert {f.rule for f in findings} == {"DYN001", "DYN002"}
+
+    def test_unexercised_static_edges_reported_not_findings(self, tmp_path):
+        _, graph = _static_graph(tmp_path)
+        diff, findings = verify_dynamic(graph, _observed([]))
+        assert diff.ok  # coverage gap, not an error
+        assert findings == []
+        assert [
+            (e.src.label, e.dst.label) for e in diff.unexercised
+        ] == [("Svc.a", "Svc.b")]
+
+    def test_runtime_violations_resurface_as_dyn003(self, tmp_path):
+        _, graph = _static_graph(tmp_path)
+        _, findings = verify_dynamic(
+            graph,
+            _observed(
+                [],
+                findings=[
+                    {"kind": "order-inversion", "message": "inverted",
+                     "site": "svc.py:9", "thread": "t"},
+                    {"kind": "blocking-sleep", "message": "slept",
+                     "site": "svc.py:9", "thread": "t"},
+                ],
+            ),
+        )
+        # blocking-sleep is load-dependent: summarized, never an error.
+        assert [f.rule for f in findings] == ["DYN003"]
+        assert "order-inversion" in findings[0].message
+
+    def test_find_label_cycles(self):
+        assert find_label_cycles({("a", "b"), ("b", "a")}) == [["a", "b"]]
+        assert find_label_cycles({("a", "b"), ("b", "c")}) == []
+
+
+# ------------------------------------------------------------------ CLI+dot
+class TestVerifyDynamicCli:
+    def test_clean_verify_exits_zero(self, tmp_path, capsys):
+        mod, _ = _static_graph(tmp_path)
+        observed = tmp_path / "observed.json"
+        observed.write_text(
+            json.dumps(
+                {
+                    "version": REPORT_VERSION,
+                    "edges": [
+                        {"src": "Svc.a", "dst": "Svc.b", "count": 2,
+                         "site": "svc.py:10"}
+                    ],
+                    "locks": [],
+                    "findings": [],
+                    "hold_budget_s": 1.0,
+                }
+            ),
+            encoding="utf-8",
+        )
+        code = lint_main(
+            [str(mod), "--root", str(tmp_path), "--no-baseline",
+             "--verify-dynamic", str(observed)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dynamic verify" in out
+        assert "0 missing from static" in out
+
+    def test_missing_edge_fails_run(self, tmp_path, capsys):
+        mod, _ = _static_graph(tmp_path)
+        observed = tmp_path / "observed.json"
+        observed.write_text(
+            json.dumps(
+                {
+                    "version": REPORT_VERSION,
+                    "edges": [
+                        {"src": "Svc.b", "dst": "Svc.z", "count": 1,
+                         "site": "svc.py:12"}
+                    ],
+                    "locks": [],
+                    "findings": [],
+                    "hold_budget_s": 1.0,
+                }
+            ),
+            encoding="utf-8",
+        )
+        code = lint_main(
+            [str(mod), "--root", str(tmp_path), "--no-baseline",
+             "--verify-dynamic", str(observed)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DYN001" in out
+
+    def test_dot_format_renders_merged_graph(self, tmp_path, capsys):
+        mod, _ = _static_graph(tmp_path)
+        observed = tmp_path / "observed.json"
+        observed.write_text(
+            json.dumps(
+                {
+                    "version": REPORT_VERSION,
+                    "edges": [
+                        {"src": "Svc.a", "dst": "Svc.b", "count": 4,
+                         "site": "svc.py:10"}
+                    ],
+                    "locks": [],
+                    "findings": [],
+                    "hold_budget_s": 1.0,
+                }
+            ),
+            encoding="utf-8",
+        )
+        dot_file = tmp_path / "out" / "graph.dot"
+        code = lint_main(
+            [str(mod), "--root", str(tmp_path), "--no-baseline",
+             "--verify-dynamic", str(observed),
+             "--format", "dot", "--graph", str(dot_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph lock_order {")
+        assert '"Svc.a" -> "Svc.b"' in out
+        assert 'label="4x"' in out
+        assert dot_file.read_text(encoding="utf-8") == out
+
+    def test_dot_without_observed_marks_nothing_unexercised(
+        self, tmp_path, capsys
+    ):
+        mod, _ = _static_graph(tmp_path)
+        code = lint_main(
+            [str(mod), "--root", str(tmp_path), "--no-baseline",
+             "--format", "dot"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unexercised" not in out
+        assert "color=gray50" in out
+
+
+class TestRenderDot:
+    def test_observed_only_edge_is_red(self, tmp_path):
+        _, graph = _static_graph(tmp_path)
+        dot = render_dot(graph, _observed([("Svc.x", "Svc.y")]))
+        assert '"Svc.x" -> "Svc.y" [color=red' in dot
+        assert 'style=dashed, label="unexercised"' in dot  # static, unseen
+
+
+# ------------------------------------------------------------- end to end
+class TestEndToEnd:
+    def test_sanitized_run_verifies_against_static_fixture(self, tmp_path):
+        """The full loop: run real (test-local) lock traffic under the
+        sanitizer, write the report, and verify it against a static model
+        of the same discipline — zero missing edges, merged acyclic."""
+        sanitizer = LockSanitizer(hold_budget=30.0, include=[_TESTS_DIR])
+        sanitizer.enable()
+        try:
+
+            class Svc:  # mirrors _STATIC_FIXTURE's lock discipline
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+
+                def go(self):
+                    with self.a:
+                        with self.b:
+                            pass
+
+            Svc().go()
+        finally:
+            sanitizer.disable()
+        report_path = sanitizer.write_report(tmp_path / "observed.json")
+        mod, graph = _static_graph(tmp_path)
+        diff, findings = verify_dynamic(
+            graph, ObservedGraph.load(report_path)
+        )
+        assert findings == []
+        assert diff.ok
+        assert [e.pair for e in diff.matched] == [("Svc.a", "Svc.b")]
