@@ -1,0 +1,138 @@
+"""Cross-task transfer — warm-start navigation vs cold (repro.transfer).
+
+Seeds a ground-truth corpus by navigating donor tasks from one synthetic
+task family, then navigates a held-out sibling task twice: cold (no
+transfer) and warm (corpus-backed ``TransferContext``).  Reports ground
+truth runs, Step-2 wall clock, and the *measured* performance of each
+chosen guideline — the regret check that the saved runs didn't buy a worse
+configuration.  Expected shape: the warm start profiles >=30% fewer
+candidates with the chosen config's measured time inside the cold
+tolerance band.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import TaskSpec
+from repro.experiments import render_table
+from repro.explorer.navigator import GNNavigator
+from repro.graphs.generators import powerlaw_community_graph
+from repro.runtime.parallel import ResultStore
+from repro.transfer import TransferContext, TransferCorpus, TransferPolicy
+
+
+def _family_graph(seed: int, nodes: int, name: str):
+    """One member of a synthetic task family (shared shape, fresh draw)."""
+    return powerlaw_community_graph(
+        nodes,
+        num_classes=4,
+        feature_dim=16,
+        homophily=0.7,
+        feature_noise=0.4,
+        seed=seed,
+        name=name,
+    )
+
+
+def _navigate(task, graph, *, budget, epochs, transfer=None, cache_dir=None):
+    navigator = GNNavigator(
+        task,
+        graph=graph,
+        profile_budget=budget,
+        profile_epochs=epochs,
+        seed=0,
+        cache_dir=cache_dir,
+        transfer=transfer,
+    )
+    start = time.perf_counter()
+    report = navigator.explore(priorities=["balance"])
+    elapsed = time.perf_counter() - start
+    return navigator, report, elapsed
+
+
+def test_transfer_warm_vs_cold(run_once, emit, quick, tmp_path):
+    budget = 12 if quick else 24
+    epochs = 1 if quick else 2
+    nodes = 130 if quick else 300
+    donors = 1 if quick else 3
+    store_dir = str(tmp_path / "corpus")
+
+    def experiment():
+        # --- seed the corpus with donor navigations (records persisted)
+        for i in range(donors):
+            donor_task = TaskSpec(dataset=f"fam-{i}", arch="sage", epochs=2)
+            donor_graph = _family_graph(i + 1, nodes + 10 * i, f"fam-{i}")
+            _navigate(
+                donor_task,
+                donor_graph,
+                budget=budget,
+                epochs=epochs,
+                cache_dir=store_dir,
+            )
+
+        target_task = TaskSpec(dataset="fam-target", arch="sage", epochs=2)
+        target_graph = _family_graph(99, nodes + 5, "fam-target")
+
+        cold_nav, cold_report, cold_s = _navigate(
+            target_task, target_graph, budget=budget, epochs=epochs
+        )
+
+        corpus = TransferCorpus(ResultStore(store_dir))
+        context = TransferContext(
+            corpus, policy=TransferPolicy(min_similarity=0.2)
+        )
+        warm_nav, warm_report, warm_s = _navigate(
+            target_task, target_graph, budget=budget, epochs=epochs,
+            transfer=context,
+        )
+
+        out = {}
+        for mode, nav, report, elapsed in (
+            ("cold", cold_nav, cold_report, cold_s),
+            ("warm", warm_nav, warm_report, warm_s),
+        ):
+            guideline = report.guidelines["balance"]
+            measured = nav.apply(guideline)  # Step 3: regret on ground truth
+            out[mode] = {
+                "runs": len(nav.records),
+                "wall_s": elapsed,
+                "config": guideline.config.describe(),
+                "time_ms": measured.time_s * 1e3,
+                "accuracy": measured.accuracy,
+                "transfer": report.extras.get("transfer"),
+            }
+        return out
+
+    results = run_once(experiment)
+    cold, warm = results["cold"], results["warm"]
+
+    emit()
+    emit(
+        render_table(
+            ["mode", "gt runs", "step-2 wall (s)", "measured time (ms)",
+             "measured acc", "chosen config"],
+            [
+                [mode, str(r["runs"]), f"{r['wall_s']:.2f}",
+                 f"{r['time_ms']:.2f}", f"{r['accuracy'] * 100:.1f}%",
+                 r["config"]]
+                for mode, r in results.items()
+            ],
+            title="Cross-task transfer: warm start vs cold",
+        )
+    )
+    saved = cold["runs"] - warm["runs"]
+    emit(
+        f"runs saved: {saved}/{cold['runs']} "
+        f"({saved / cold['runs'] * 100:.0f}%), plan: {warm['transfer']}"
+    )
+
+    assert warm["transfer"] is not None, "warm navigation never planned"
+    assert warm["runs"] < cold["runs"]
+    if not quick:
+        # The acceptance bar: >=30% fewer ground-truth runs, with the chosen
+        # config's measured epoch time inside a generous regret band (the
+        # synthetic family is noisy at this scale).
+        assert saved >= 0.3 * cold["runs"]
+        assert warm["time_ms"] <= cold["time_ms"] * 1.5
+        assert warm["accuracy"] >= cold["accuracy"] - 0.1

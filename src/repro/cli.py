@@ -14,6 +14,7 @@ Commands
 ``executor``   join a server's profiling fleet as a remote executor
 ``fleet``      inspect a remote server's fleet (``fleet status``)
 ``templates``  run the baseline system templates on a task
+``transfer``   inspect the cross-task transfer corpus (``transfer stats``)
 ``datasets``   list the synthetic dataset zoo with statistics
 ``lint``       run the project-specific static analysis pass
 """
@@ -79,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="persist profiling to the shared serving/experiment store "
         "(the layout `repro serve` and the experiment harness use)",
+    )
+    nav.add_argument(
+        "--transfer",
+        action="store_true",
+        help="warm-start from the cross-task corpus over the profiling "
+        "store (implies --shared-cache unless a cache dir is given): "
+        "donor tasks' ground truth shrinks this run's profiling budget",
     )
     nav.add_argument("--max-time-ms", type=float, default=None)
     nav.add_argument("--max-memory-mib", type=float, default=None)
@@ -171,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="fleet lease TTL: how long a remote executor may go silent "
         "before its claimed profiling work is re-issued (default: 10)",
+    )
+    serve.add_argument(
+        "--transfer",
+        action="store_true",
+        help="warm-start navigations from the cross-task corpus over the "
+        "persistent store (requires a store; per-request transfer_policy "
+        "specs still override)",
     )
 
     def add_remote(sub_parser):
@@ -344,6 +359,23 @@ def build_parser() -> argparse.ArgumentParser:
     tmpl.add_argument("--arch", default="sage", choices=["gcn", "sage", "gat"])
     tmpl.add_argument("--epochs", type=int, default=4)
 
+    transfer = sub.add_parser(
+        "transfer",
+        help="inspect the cross-task transfer corpus over a result store",
+    )
+    transfer.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints the task families the corpus can donate from",
+    )
+    transfer.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result-store directory to index "
+        "(default: the shared serving/experiment store)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the project-specific static analysis pass "
@@ -374,14 +406,40 @@ def _cmd_navigate(args: argparse.Namespace) -> int:
         if cache_dir is not None:
             raise ServingError("--shared-cache and --profile-cache conflict")
         cache_dir = str(default_store_dir())
+    transfer = None
+    if args.transfer:
+        from repro.runtime.parallel import ResultStore
+        from repro.transfer import TransferContext, TransferCorpus
+
+        # The corpus lives in the persistent store; without an explicit
+        # cache dir, transfer implies the shared one (where `repro serve`
+        # and the experiment harness accumulate donors).
+        if cache_dir is None:
+            cache_dir = str(default_store_dir())
+        transfer = TransferContext(TransferCorpus(ResultStore(cache_dir)))
     nav = GNNavigator(
         task,
         profile_budget=args.budget,
         workers=args.workers,
         cache_dir=cache_dir,
+        transfer=transfer,
     )
     print(f"exploring for priority {args.priority!r} ({constraint.describe()})...")
     report = nav.explore(constraint=constraint, priorities=[args.priority])
+    info = report.extras.get("transfer")
+    if args.transfer:
+        if info is None:
+            print("transfer: cold start (no compatible donors in the corpus)")
+        else:
+            donors = ", ".join(
+                f"{d['dataset']}({d['similarity']:.2f})" for d in info["donors"]
+            )
+            print(
+                f"transfer: warm start from {donors} — "
+                f"{info['donor_records']} donor records, "
+                f"budget {info['full_budget']}->{info['budget']} "
+                f"({info['runs_saved']} runs saved)"
+            )
     guideline = report.guidelines[args.priority]
     print(f"guideline: {guideline.describe()}")
     perf = nav.apply(guideline)
@@ -422,6 +480,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_budget=args.store_budget,
         store_budget_bytes=args.store_budget_bytes,
         fleet_lease_ttl=args.lease_ttl,
+        transfer=args.transfer,
     ) as server:
         job_ids = server.submit_many(requests)
         print(
@@ -479,6 +538,7 @@ def _serve_network(
         store_budget=args.store_budget,
         store_budget_bytes=args.store_budget_bytes,
         fleet_lease_ttl=args.lease_ttl,
+        transfer=args.transfer,
     ) as server:
         if requests:
             job_ids = server.submit_many(requests)
@@ -738,6 +798,40 @@ def _cmd_templates(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    from repro.runtime.parallel import ResultStore
+    from repro.transfer import TransferCorpus
+
+    store_dir = args.store or str(default_store_dir())
+    corpus = TransferCorpus(ResultStore(store_dir))
+    corpus.refresh()
+    stats = corpus.stats()
+    rows = [
+        [
+            fam["fingerprint_id"],
+            fam["dataset"],
+            fam["arch"],
+            fam["platform"],
+            str(fam["num_nodes"]),
+            str(fam["num_edges"]),
+            str(fam["records"]),
+        ]
+        for fam in stats["families"]
+    ]
+    print(
+        render_table(
+            ["fingerprint", "dataset", "arch", "platform", "|V|", "|E|", "records"],
+            rows,
+            title=f"transfer corpus @ {store_dir}",
+        )
+    )
+    print(
+        f"{stats['tasks']} task family(ies), {stats['records']} donor "
+        f"record(s) indexed"
+    )
+    return 0
+
+
 def _cmd_datasets() -> int:
     rows = []
     for spec in sorted({s.name: s for s in DATASETS.values()}.values(), key=lambda s: s.name):
@@ -804,6 +898,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fleet(args)
     if args.command == "templates":
         return _cmd_templates(args)
+    if args.command == "transfer":
+        return _cmd_transfer(args)
     if args.command == "lint":
         return run_lint(args)
     return _cmd_datasets()

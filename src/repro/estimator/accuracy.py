@@ -63,7 +63,7 @@ class AccuracyModel:
         )
         self._fitted = False
 
-    def fit(self, records) -> "AccuracyModel":
+    def fit(self, records, sample_weight=None) -> "AccuracyModel":
         """Fit from :class:`~repro.runtime.profiler.GroundTruthRecord` list."""
         if not records:
             raise EstimatorError("no records to fit on")
@@ -76,7 +76,7 @@ class AccuracyModel:
             ]
         )
         y = np.array([r.accuracy for r in records])
-        self._forest.fit(x, y)
+        self._forest.fit(x, y, sample_weight=sample_weight)
         self._fitted = True
         return self
 

@@ -87,6 +87,7 @@ class GrayBoxBatchSizeModel:
         configs: list[TrainingConfig],
         profiles: list[GraphProfile],
         measured: np.ndarray,
+        sample_weight: np.ndarray | None = None,
     ) -> "GrayBoxBatchSizeModel":
         measured = np.asarray(measured, dtype=np.float64)
         if not (len(configs) == len(profiles) == measured.size):
@@ -98,7 +99,7 @@ class GrayBoxBatchSizeModel:
             [analytic_batch_size(c, p) for c, p in zip(configs, profiles, strict=True)]
         )
         residual = np.log(np.maximum(measured, 1.0)) - np.log(np.maximum(prior, 1.0))
-        self._tree.fit(x, residual)
+        self._tree.fit(x, residual, sample_weight=sample_weight)
         self._fitted = True
         return self
 
@@ -137,9 +138,12 @@ class BlackBoxBatchSizeModel:
         configs: list[TrainingConfig],
         profiles: list[GraphProfile],
         measured: np.ndarray,
+        sample_weight: np.ndarray | None = None,
     ) -> "BlackBoxBatchSizeModel":
         x = np.stack([self._features(c, p) for c, p in zip(configs, profiles, strict=True)])
-        self._tree.fit(x, np.asarray(measured, dtype=np.float64))
+        self._tree.fit(
+            x, np.asarray(measured, dtype=np.float64), sample_weight=sample_weight
+        )
         self._fitted = True
         return self
 

@@ -34,32 +34,58 @@ class _Node:
 
 
 def _best_split(
-    x: np.ndarray, y: np.ndarray, feature_ids: np.ndarray, min_leaf: int
+    x: np.ndarray,
+    y: np.ndarray,
+    feature_ids: np.ndarray,
+    min_leaf: int,
+    w: np.ndarray | None = None,
 ) -> tuple[int, float, float] | None:
     """Best (feature, threshold, sse) over candidate features, or None.
 
     Uses the classic sorted prefix-sum scan: for each candidate feature the
     children's SSE at every cut position is computed in O(n) after sorting.
+    With sample weights the criterion becomes weighted SSE
+    (``Σw·y² − (Σw·y)²/Σw`` per child); the ``min_leaf`` constraint stays
+    count-based so weights shape the split score, not the tree's minimum
+    support.  ``w=None`` takes the exact unweighted code path.
     """
     n = y.size
     best: tuple[int, float, float] | None = None
-    y_sum = y.sum()
-    y_sq = (y**2).sum()
-    parent_sse = y_sq - y_sum**2 / n
+    if w is None:
+        y_sum = y.sum()
+        y_sq = (y**2).sum()
+        parent_sse = y_sq - y_sum**2 / n
+    else:
+        y_sum = (w * y).sum()
+        y_sq = (w * y**2).sum()
+        parent_sse = y_sq - y_sum**2 / w.sum()
     for f in feature_ids:
         order = np.argsort(x[:, f], kind="stable")
         xs = x[order, f]
         ys = y[order]
-        csum = np.cumsum(ys)
-        csq = np.cumsum(ys**2)
         # Valid cut after position i (1-based left size i+1).
         left_n = np.arange(1, n)
         valid = (xs[1:] != xs[:-1]) & (left_n >= min_leaf) & (n - left_n >= min_leaf)
         if not np.any(valid):
             continue
-        ls, lq = csum[:-1], csq[:-1]
-        rs, rq = y_sum - ls, y_sq - lq
-        sse = (lq - ls**2 / left_n) + (rq - rs**2 / (n - left_n))
+        if w is None:
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys**2)
+            ls, lq = csum[:-1], csq[:-1]
+            rs, rq = y_sum - ls, y_sq - lq
+            sse = (lq - ls**2 / left_n) + (rq - rs**2 / (n - left_n))
+        else:
+            ws = w[order]
+            cw = np.cumsum(ws)
+            csum = np.cumsum(ws * ys)
+            csq = np.cumsum(ws * ys**2)
+            lw, ls, lq = cw[:-1], csum[:-1], csq[:-1]
+            rw, rs, rq = cw[-1] - lw, y_sum - ls, y_sq - lq
+            valid = valid & (lw > 0.0) & (rw > 0.0)
+            if not np.any(valid):
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                sse = (lq - ls**2 / lw) + (rq - rs**2 / rw)
         sse = np.where(valid, sse, np.inf)
         i = int(np.argmin(sse))
         if sse[i] < parent_sse - 1e-12 and np.isfinite(sse[i]):
@@ -91,19 +117,44 @@ class DecisionTreeRegressor:
         self._root: _Node | None = None
         self.n_features_: int | None = None
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "DecisionTreeRegressor":
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         if x.ndim != 2 or x.shape[0] != y.size:
             raise EstimatorError("x must be (n_samples, n_features) matching y")
         if y.size == 0:
             raise EstimatorError("cannot fit on an empty dataset")
+        w = None
+        if sample_weight is not None:
+            w = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if w.size != y.size:
+                raise EstimatorError("sample_weight must match y")
+            if not np.all(np.isfinite(w)) or np.any(w < 0.0) or w.sum() <= 0.0:
+                raise EstimatorError(
+                    "sample_weight must be finite, non-negative, not all zero"
+                )
         self.n_features_ = x.shape[1]
-        self._root = self._grow(x, y, depth=0)
+        self._root = self._grow(x, y, depth=0, w=w)
         return self
 
-    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
-        node = _Node(value=float(y.mean()))
+    def _grow(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        depth: int,
+        w: np.ndarray | None = None,
+    ) -> _Node:
+        if w is None:
+            node = _Node(value=float(y.mean()))
+        elif w.sum() > 0.0:
+            node = _Node(value=float(np.average(y, weights=w)))
+        else:  # all-zero-weight child: only the plain mean is defined
+            node = _Node(value=float(y.mean()))
         if depth >= self.max_depth or y.size < 2 * self.min_samples_leaf:
             return node
         if np.allclose(y, y[0]):
@@ -113,7 +164,7 @@ class DecisionTreeRegressor:
             feature_ids = self._rng.choice(n_feat, self.max_features, replace=False)
         else:
             feature_ids = np.arange(n_feat)
-        split = _best_split(x, y, feature_ids, self.min_samples_leaf)
+        split = _best_split(x, y, feature_ids, self.min_samples_leaf, w)
         if split is None:
             return node
         feature, threshold, _ = split
@@ -125,8 +176,10 @@ class DecisionTreeRegressor:
             return node
         node.feature = feature
         node.threshold = threshold
-        node.left = self._grow(x[mask], y[mask], depth + 1)
-        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        node.left = self._grow(x[mask], y[mask], depth + 1, None if w is None else w[mask])
+        node.right = self._grow(
+            x[~mask], y[~mask], depth + 1, None if w is None else w[~mask]
+        )
         return node
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -183,11 +236,21 @@ class RandomForestRegressor:
         self.random_state = random_state
         self._trees: list[DecisionTreeRegressor] = []
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "RandomForestRegressor":
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         if x.ndim != 2 or x.shape[0] != y.size:
             raise EstimatorError("x must be (n_samples, n_features) matching y")
+        w = None
+        if sample_weight is not None:
+            w = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if w.size != y.size:
+                raise EstimatorError("sample_weight must match y")
         rng = np.random.default_rng(self.random_state)
         n = y.size
         k = max(1, int(round(self.max_features * x.shape[1])))
@@ -200,7 +263,12 @@ class RandomForestRegressor:
                 max_features=k,
                 random_state=self.random_state + 1000 + t,
             )
-            tree.fit(x[idx], y[idx])
+            # The bootstrap draw consumes the rng identically either way;
+            # weights just ride along with their drawn rows.
+            if w is None:
+                tree.fit(x[idx], y[idx])
+            else:
+                tree.fit(x[idx], y[idx], sample_weight=w[idx])
             self._trees.append(tree)
         return self
 

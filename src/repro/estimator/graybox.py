@@ -155,10 +155,22 @@ class GrayBoxEstimator:
         return max(1, -(-train_nodes // config.batch_size))
 
     # ------------------------------------------------------------------- fit
-    def fit(self, records) -> "GrayBoxEstimator":
-        """Fit every learned component from ground-truth records."""
+    def fit(self, records, sample_weight=None) -> "GrayBoxEstimator":
+        """Fit every learned component from ground-truth records.
+
+        ``sample_weight`` (optional, aligned with ``records``) discounts
+        each record in every learned component — the transfer warm-start
+        path passes the target task's records at weight 1 followed by
+        similarity-decayed donor records.  ``None`` is bit-identical to
+        the historical unweighted fit.
+        """
         if len(records) < 8:
             raise EstimatorError("need at least 8 ground-truth records")
+        w = None
+        if sample_weight is not None:
+            w = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if w.size != len(records):
+                raise EstimatorError("sample_weight must align with records")
         configs = [r.config for r in records]
         profiles = [r.graph_profile for r in records]
         self._arch = records[0].task.arch
@@ -167,20 +179,23 @@ class GrayBoxEstimator:
         measured_e = np.array([r.mean_batch_edges for r in records])
         measured_hit = np.array([r.hit_rate for r in records])
 
-        self._batch_model.fit(configs, profiles, measured_v)
+        self._batch_model.fit(configs, profiles, measured_v, sample_weight=w)
         # Edges per node regress on degree/config features (log-ratio).
         xe = np.stack(
             [self._edge_features(c, p) for c, p in zip(configs, profiles, strict=True)]
         )
-        self._edge_model.fit(xe, np.log(measured_e / np.maximum(measured_v, 1.0)))
+        self._edge_model.fit(
+            xe, np.log(measured_e / np.maximum(measured_v, 1.0)), sample_weight=w
+        )
         self._hit_model.fit(
             np.stack([_hit_features(c, p) for c, p in zip(configs, profiles, strict=True)]),
             measured_hit,
+            sample_weight=w,
         )
 
         if self.use_residuals:
-            self._fit_residuals(records, configs, profiles)
-        self._acc_model.fit(records)
+            self._fit_residuals(records, configs, profiles, w)
+        self._acc_model.fit(records, sample_weight=w)
         self._fitted = True
         return self
 
@@ -201,7 +216,7 @@ class GrayBoxEstimator:
             dtype=np.float64,
         )
 
-    def _fit_residuals(self, records, configs, profiles) -> None:
+    def _fit_residuals(self, records, configs, profiles, w=None) -> None:
         """Learn log-ratio corrections measured/analytic per phase."""
         v_hat = self._batch_model.predict(configs, profiles)
         e_hat = v_hat * np.exp(
@@ -244,7 +259,7 @@ class GrayBoxEstimator:
             ratio = np.log(
                 np.maximum(measured[phase], floor) / np.maximum(analytic, floor)
             )
-            model.fit(feats, ratio)
+            model.fit(feats, ratio, sample_weight=w)
 
         analytic_mem = np.array(
             [
@@ -253,7 +268,9 @@ class GrayBoxEstimator:
             ]
         )
         measured_mem = np.array([r.memory_bytes for r in records])
-        self._memory_residual.fit(feats, np.log(measured_mem / analytic_mem))
+        self._memory_residual.fit(
+            feats, np.log(measured_mem / analytic_mem), sample_weight=w
+        )
 
     def _analytic_memory(
         self,
@@ -378,22 +395,30 @@ class BlackBoxEstimator:
         self._batch_model: BlackBoxBatchSizeModel | None = None
         self._fitted = False
 
-    def fit(self, records) -> "BlackBoxEstimator":
+    def fit(self, records, sample_weight=None) -> "BlackBoxEstimator":
         if len(records) < 8:
             raise EstimatorError("need at least 8 ground-truth records")
+        w = None
+        if sample_weight is not None:
+            w = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if w.size != len(records):
+                raise EstimatorError("sample_weight must align with records")
         feats = np.stack([r.features() for r in records])
-        self._models["time"].fit(feats, np.log(np.array([r.time_s for r in records])))
+        self._models["time"].fit(
+            feats, np.log(np.array([r.time_s for r in records])), sample_weight=w
+        )
         self._models["memory"].fit(
-            feats, np.log(np.array([r.memory_bytes for r in records]))
+            feats, np.log(np.array([r.memory_bytes for r in records])), sample_weight=w
         )
         self._models["accuracy"].fit(
-            feats, np.array([r.accuracy for r in records])
+            feats, np.array([r.accuracy for r in records]), sample_weight=w
         )
         self._batch_model = BlackBoxBatchSizeModel()
         self._batch_model.fit(
             [r.config for r in records],
             [r.graph_profile for r in records],
             np.array([r.mean_batch_nodes for r in records]),
+            sample_weight=w,
         )
         self._fitted = True
         return self

@@ -67,6 +67,7 @@ class GNNavigator:
         profiler=None,
         cancel=None,
         progress=None,
+        transfer=None,
     ) -> None:
         if profile_budget < 8:
             raise ExplorationError("profile_budget must be at least 8")
@@ -95,6 +96,15 @@ class GNNavigator:
         #: profiling completions are reported through it — the serving
         #: layer's live job-event streaming rides this seat.
         self.progress = progress
+        #: optional :class:`~repro.transfer.warmstart.TransferContext`-shaped
+        #: delegate (``plan(task, profile, full_budget=)``).  When it yields a
+        #: plan, Step 2 pre-ranks its candidate sample with a donor-fitted
+        #: estimator, profiles only the plan's shrunken budget, and fits the
+        #: final estimator on target records (weight 1) plus similarity-
+        #: weighted donor records.  ``None`` — or a plan of ``None`` — keeps
+        #: this navigator bit-identical to one built without the seat.
+        self.transfer = transfer
+        self.transfer_plan = None
         self.estimator: GrayBoxEstimator | None = None
         self.records: list[GroundTruthRecord] = []
 
@@ -125,8 +135,24 @@ class GNNavigator:
         if records is None:
             rng = np.random.default_rng(self.seed)
             sample = self.space.sample(self.profile_budget, rng=rng)
+            if self.transfer is not None:
+                self.transfer_plan = self.transfer.plan(
+                    self.task, self.profile, full_budget=self.profile_budget
+                )
+            if self.transfer_plan is not None:
+                plan = self.transfer_plan
+                sample = plan.select(self.task, self.profile, sample, seed=self.seed)
+                self._emit(
+                    "profiling",
+                    message=(
+                        f"warm start: {len(plan.donors)} donor task(s), "
+                        f"{len(plan.records)} records, "
+                        f"budget {plan.full_budget}->{plan.budget}"
+                    ),
+                )
             # Always include the baseline templates so the estimator sees the
-            # regions the initial set starts from.
+            # regions the initial set starts from.  (They double as the
+            # transfer anchor configs, so the warm path measures them too.)
             sample.extend(TEMPLATES.values())
             profile_task = TaskSpec(
                 dataset=self.task.dataset,
@@ -176,7 +202,19 @@ class GNNavigator:
         self.estimator = GrayBoxEstimator(
             train_frac=self.task.train_frac, random_state=self.seed
         )
-        self.estimator.fit(self.records)
+        if self.transfer_plan is not None:
+            # Target records lead (the estimator reads the arch off the first
+            # record) at unit weight; donors follow, similarity-decayed.
+            donor_records = list(self.transfer_plan.records)
+            weights = np.concatenate(
+                [
+                    np.ones(len(self.records)),
+                    np.asarray(self.transfer_plan.weights, dtype=np.float64),
+                ]
+            )
+            self.estimator.fit(self.records + donor_records, sample_weight=weights)
+        else:
+            self.estimator.fit(self.records)
         return self.estimator
 
     def explore(
@@ -207,13 +245,16 @@ class GNNavigator:
             best_objective=guidelines[targets[0].name].score,
             message=f"{result.evaluated} candidates evaluated",
         )
-        return NavigatorReport(
+        report = NavigatorReport(
             task=self.task,
             guidelines=guidelines,
             exploration=result,
             num_ground_truth=len(self.records),
             profile=self.profile,
         )
+        if self.transfer_plan is not None:
+            report.extras["transfer"] = self.transfer_plan.summary()
+        return report
 
     # ---------------------------------------------------------------- step 3
     def apply(self, guideline: Guideline | TrainingConfig) -> PerfReport:

@@ -43,7 +43,13 @@ class SaintSampler(Sampler):
             # One uniform neighbour per alive walker.
             offset = (rng.random(current.size) * degrees).astype(np.int64)
             offset = np.minimum(offset, np.maximum(degrees - 1, 0))
-            nxt = graph.indices[graph.indptr[current] + offset]
+            # Dead walkers are masked out below, but their gather still
+            # evaluates; an isolated node at the CSR tail has
+            # indptr[current] == len(indices), so clamp before indexing.
+            slot = np.minimum(
+                graph.indptr[current] + offset, graph.indices.size - 1
+            )
+            nxt = graph.indices[slot]
             current = np.where(alive, nxt, current)
             visited.append(current.copy())
         return np.concatenate(visited)

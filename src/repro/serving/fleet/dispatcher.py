@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from repro.config.settings import TaskSpec, TrainingConfig
 from repro.errors import ServingError, UnknownExecutorError
 from repro.graphs.csr import CSRGraph
+from repro.runtime.parallel import predicted_cost
 from repro.serving.fleet.leases import LeaseTable
 from repro.serving.fleet.registry import ExecutorInfo, ExecutorRegistry
 from repro.serving.metrics import MetricsRegistry, labeled
@@ -453,6 +454,17 @@ class FleetDispatcher:
         chosen = [
             key for key in pool if self._items[key].group is group
         ][:limit]
+        # Longest-first within the claim batch: the executor runs its lease
+        # in grant order, so fronting the expensive candidates shortens the
+        # tail when a lease expires mid-batch (the cheap remainder re-queues
+        # and backfills elsewhere).  Pure arithmetic on already-loaded
+        # objects, so fine under the lock; the sort is stable, keeping the
+        # arrival order among cost ties deterministic.
+        chosen.sort(
+            key=lambda k: -predicted_cost(
+                group.task, self._items[k].config, group.graph
+            )
+        )
         for key in chosen:
             self._pending.remove(key)
         return [self._items[key] for key in chosen]

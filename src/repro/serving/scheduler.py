@@ -25,6 +25,7 @@ from repro.graphs.csr import CSRGraph
 from repro.graphs.datasets import load_dataset
 from repro.runtime.parallel import CancellationToken, ProfilingService
 from repro.runtime.profiler import GroundTruthRecord
+from repro.transfer.corpus import TransferCorpus
 
 __all__ = ["SharedProfilingService"]
 
@@ -35,10 +36,21 @@ class SharedProfilingService:
     All state transitions happen under one lock; the actual training runs
     (``service._execute``) happen outside it, so claimed batches from
     different jobs execute concurrently when the service has pool workers.
+
+    When the underlying service persists to a :class:`ResultStore`, the
+    wrapper also exposes a :class:`~repro.transfer.corpus.TransferCorpus`
+    over it (``corpus``), so every record any tenant commits becomes a
+    warm-start donor candidate for later tasks; a memory-only service has
+    no corpus (``None``).
     """
 
-    def __init__(self, service: ProfilingService) -> None:
+    def __init__(
+        self, service: ProfilingService, *, corpus: TransferCorpus | None = None
+    ) -> None:
         self.service = service
+        if corpus is None and service.store is not None:
+            corpus = TransferCorpus(service.store)
+        self.corpus = corpus
         self._lock = threading.Lock()
         self._inflight: dict[object, threading.Event] = {}  # guarded-by: _lock
 

@@ -45,6 +45,8 @@ from repro.serving.events import (
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.queue import PriorityJobQueue
 from repro.serving.scheduler import SharedProfilingService
+from repro.transfer.policy import TransferPolicy
+from repro.transfer.warmstart import TransferContext
 from repro.serving.types import (
     Job,
     JobResult,
@@ -133,6 +135,7 @@ class NavigationServer:
         store_budget_bytes: int | None = None,
         event_buffer: int = 256,
         fleet_lease_ttl: float = 10.0,
+        transfer: TransferPolicy | bool = False,
     ) -> None:
         if workers < 1:
             raise ServingError("a server needs at least one worker thread")
@@ -171,6 +174,17 @@ class NavigationServer:
         self.fleet = FleetDispatcher(
             self.service, lease_ttl=fleet_lease_ttl, metrics=self.metrics
         )
+        # Cross-task transfer rides the persistent store: with a corpus and
+        # a server-level opt-in, navigations warm-start from prior tenants'
+        # ground truth (requests can still override per-job via their
+        # ``transfer_policy``).  Memory-only servers have no corpus and run
+        # cold regardless.
+        self.transfer: TransferContext | None = None
+        if transfer and self.profiler.corpus is not None:
+            policy = transfer if isinstance(transfer, TransferPolicy) else None
+            self.transfer = TransferContext(
+                self.profiler.corpus, policy=policy, metrics=self.metrics
+            )
         self._register_gauges()
         if autostart:
             self.start()
@@ -207,6 +221,12 @@ class NavigationServer:
         self.metrics.gauge("fleet_executors", lambda: len(self.fleet.registry))
         self.metrics.gauge("fleet_pending", lambda: self.fleet.pending_count)
         self.metrics.gauge("fleet_leased", lambda: self.fleet.leased_count)
+        corpus = self.profiler.corpus
+        if corpus is not None:
+            self.metrics.gauge("transfer_corpus_tasks", lambda: corpus.num_tasks)
+            self.metrics.gauge(
+                "transfer_corpus_records", lambda: corpus.num_records
+            )
 
     def _census(self, status: JobStatus) -> int:
         with self._lock:
@@ -547,6 +567,27 @@ class NavigationServer:
                 # tenant's in-flight quota slot leaks.
                 self.queue.task_done(job.request.tenant)
 
+    def _resolve_transfer(self, request: NavigationRequest):
+        """Transfer context for one request: server default + job override.
+
+        A request's ``transfer_policy`` can disable transfer outright
+        (``enabled=False``), retune the server context, or opt a job in on
+        a server whose default is off — but never conjure a corpus a
+        memory-only server doesn't have.
+        """
+        policy = request.transfer_policy
+        if policy is None:
+            return self.transfer
+        if not policy.enabled:
+            return None
+        if self.transfer is not None:
+            return self.transfer.with_policy(policy)
+        if self.profiler.corpus is not None:
+            return TransferContext(
+                self.profiler.corpus, policy=policy, metrics=self.metrics
+            )
+        return None
+
     def _run(self, job: Job) -> JobResult:
         """Execute one navigation with profiling delegated to the scheduler."""
         request = job.request
@@ -560,6 +601,7 @@ class NavigationServer:
             profiler=self.profiler,
             cancel=job.cancel_token,
             progress=lambda phase, **fields: self._emit(job, phase, **fields),
+            transfer=self._resolve_transfer(request),
         )
         report = navigator.explore(
             constraint=request.constraint,

@@ -36,6 +36,7 @@ from repro.hardware.memory import MemoryBreakdown
 from repro.runtime.parallel import CancellationToken
 from repro.runtime.report import EpochStats, PerfReport
 from repro.serving.events import EventBuffer
+from repro.transfer.policy import TransferPolicy
 
 __all__ = [
     "JobStatus",
@@ -73,6 +74,9 @@ class NavigationRequest:
     the quota bucket it counts against); the empty string is the shared
     anonymous lane.  ``train`` additionally executes the chosen guideline
     on the backend (Step 3) and attaches the measured :class:`PerfReport`.
+    ``transfer_policy`` overrides the server's default cross-task transfer
+    behaviour for this request (``enabled=False`` forces a cold run); the
+    default ``None`` inherits whatever the server is configured with.
     """
 
     task: TaskSpec
@@ -85,6 +89,7 @@ class NavigationRequest:
     train: bool = False
     tag: str = ""
     tenant: str = ""
+    transfer_policy: TransferPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.budget < 8:
@@ -126,6 +131,8 @@ class NavigationRequest:
                 out["max_memory_mib"] = self.constraint.max_memory_bytes / 2**20
             if self.constraint.min_accuracy is not None:
                 out["min_accuracy"] = self.constraint.min_accuracy
+        if self.transfer_policy is not None:
+            out["transfer_policy"] = self.transfer_policy.to_dict()
         return out
 
     @classmethod
@@ -152,6 +159,7 @@ class NavigationRequest:
             "max_time_ms",
             "max_memory_mib",
             "min_accuracy",
+            "transfer_policy",
         }
         unknown = set(spec) - known
         if unknown:
@@ -190,6 +198,11 @@ class NavigationRequest:
             train=spec.get("train", False),
             tag=spec.get("tag", ""),
             tenant=spec.get("tenant", ""),
+            transfer_policy=(
+                None
+                if spec.get("transfer_policy") is None
+                else TransferPolicy.from_dict(spec["transfer_policy"])
+            ),
         )
 
 

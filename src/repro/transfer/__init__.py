@@ -1,0 +1,61 @@
+"""Cross-task estimator transfer: warm-start navigation from the corpus.
+
+The shared :class:`~repro.runtime.parallel.ResultStore` accumulates
+ground-truth runs across tenants, tasks and the fleet; this package turns
+it into a *transfer source* so the deployment gets cheaper the more traffic
+it serves:
+
+``fingerprint``  task identity (graph stats + arch/platform gates),
+                 persisted as a store metadata sidecar per record;
+``corpus``       an index over the store with similarity search behind one
+                 :class:`TaskSimilarity` interface;
+``warmstart``    similarity-decayed donor records fed into
+                 ``GrayBoxEstimator.fit(sample_weight=)``;
+``prerank``      corpus-guided candidate pre-ranking that shrinks the
+                 Step-2 profiling budget as coverage grows.
+
+Submodules are resolved lazily (PEP 562): the runtime store imports
+``transfer.fingerprint`` while ``transfer.corpus`` imports the runtime
+store, so an eager package import would be circular.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "TaskFingerprint",
+    "task_fingerprint",
+    "record_fingerprint",
+    "TransferPolicy",
+    "TaskSimilarity",
+    "FeatureSpaceSimilarity",
+    "AnchorRankSimilarity",
+    "TransferCorpus",
+    "TransferContext",
+    "WarmStartPlan",
+    "donor_weights",
+]
+
+_EXPORTS = {
+    "FINGERPRINT_VERSION": "repro.transfer.fingerprint",
+    "TaskFingerprint": "repro.transfer.fingerprint",
+    "task_fingerprint": "repro.transfer.fingerprint",
+    "record_fingerprint": "repro.transfer.fingerprint",
+    "TransferPolicy": "repro.transfer.policy",
+    "TaskSimilarity": "repro.transfer.corpus",
+    "FeatureSpaceSimilarity": "repro.transfer.corpus",
+    "AnchorRankSimilarity": "repro.transfer.corpus",
+    "TransferCorpus": "repro.transfer.corpus",
+    "TransferContext": "repro.transfer.warmstart",
+    "WarmStartPlan": "repro.transfer.warmstart",
+    "donor_weights": "repro.transfer.warmstart",
+}
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.transfer' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

@@ -30,6 +30,7 @@ from repro.errors import (
 from repro.runtime.parallel import (
     ProfilingService,
     graph_fingerprint,
+    predicted_cost,
     record_to_dict,
 )
 from repro.serving import NavigationClient, NavigationServer
@@ -398,6 +399,39 @@ class TestFleetDispatcher:
         assert snap["fleet_commits"] == 1
         assert snap[labeled("fleet_claims", executor=info.executor_id)] == 1
         assert info.claims == 1 and info.commits == 1
+
+    def test_claim_orders_batch_longest_first(
+        self, dispatcher, tiny_task, tiny_config, small_graph
+    ):
+        info = dispatcher.register(workers=3)
+        # Submitted cheapest-first; the grant must come back costliest-first
+        # so the makespan isn't dominated by a long run claimed last.
+        configs = [
+            _config(tiny_config, hidden_channels=h, batch_size=b)
+            for h, b in ((8, 256), (32, 64), (64, 32))
+        ]
+        costs = [predicted_cost(tiny_task, c, small_graph) for c in configs]
+        assert sorted(costs) == costs and len(set(costs)) == len(costs)
+        keys = [f"k-{i}" for i in range(len(configs))]
+        thread, out = _start_batch(
+            dispatcher, tiny_task, configs, small_graph, keys
+        )
+        grant = dispatcher.claim(info.executor_id, timeout=5.0)
+        granted_costs = [
+            predicted_cost(grant.task, c, small_graph) for c in grant.configs
+        ]
+        assert granted_costs == sorted(granted_costs, reverse=True)
+        # keys stay aligned with their (reordered) configs
+        expect = {k: c for k, c in zip(keys, configs, strict=True)}
+        assert [expect[k] for k in grant.keys] == list(grant.configs)
+        dispatcher.commit(
+            info.executor_id,
+            grant.lease_id,
+            list(grant.keys),
+            [f"record-{k}" for k in grant.keys],
+            idempotency_key=grant.lease_id,
+        )
+        assert _finish(thread, out) == [f"record-{k}" for k in keys]
 
     def test_retried_commit_replays_without_side_effects(
         self, dispatcher, tiny_task, tiny_config, small_graph

@@ -171,6 +171,20 @@ class TestSaintSampler:
         with pytest.raises(SamplingError):
             SaintSampler(walk_length=0)
 
+    def test_isolated_tail_node_does_not_crash(self, rng):
+        """A degree-0 walker at the CSR tail has indptr == len(indices);
+        the masked neighbour gather must not index past the edge array."""
+        from repro.graphs.csr import CSRGraph
+
+        # 0-1 connected, 2 isolated and last: indptr[2] == indices.size.
+        graph = CSRGraph(
+            indptr=np.array([0, 1, 2, 2]),
+            indices=np.array([1, 0]),
+        )
+        sampler = SaintSampler(walk_length=3)
+        batch = sampler.sample(graph, np.array([0, 2]), rng=rng)
+        assert 2 in batch.nodes.tolist()  # the stranded root stays put
+
 
 class TestBiasedSampler:
     def test_zero_bias_matches_unbiased_distribution(self, medium_graph):
