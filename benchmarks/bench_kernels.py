@@ -1,0 +1,167 @@
+"""SpMM kernel backend sweep — raw throughput and end-to-end loss parity.
+
+Two benches over every registered kernel (``docs/kernels.md``):
+
+1. Raw spmm throughput on the largest synthetic dataset's normalized
+   adjacency.  Full mode asserts the thread-parallel kernel beats
+   ``reference`` when the host actually has cores to parallelise over
+   (``os.cpu_count() >= 2``) — the container CI runs single-core, where
+   the kernel's serial fallback makes the comparison meaningless.
+2. An end-to-end training sweep asserting the semantics contract that
+   makes the backend pluggable at all: ``reference`` reproduces the
+   pre-refactor spmm path bit-identically (losses and accuracy), and the
+   optimized kernels track the same loss trajectory within float32
+   reassociation tolerance.  These asserts hold in ``--quick`` mode too —
+   they are correctness, not performance.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.autograd.sparse import normalized_adjacency
+from repro.autograd.tensor import Tensor, no_grad
+from repro.config.settings import KERNEL_NAMES, TaskSpec, TrainingConfig
+from repro.graphs.datasets import load_dataset
+from repro.runtime.backend import RuntimeBackend
+from repro.runtime.kernels import get_kernel, kernel_counters, reset_kernel_counters
+
+#: optimized kernels reassociate float32 sums; the loss trajectory may
+#: drift by at most this much from the reference run.
+LOSS_TOL = 1e-3
+
+CONFIG = TrainingConfig(batch_size=256, hidden_channels=32, cache_ratio=0.25)
+
+
+def _table(emit, header, rows):
+    widths = [max(len(str(r[i])) for r in [header, *rows]) for i in range(len(header))]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    emit(fmt.format(*header))
+    emit(fmt.format(*("-" * w for w in widths)))
+    for row in rows:
+        emit(fmt.format(*row))
+
+
+def test_raw_spmm_throughput(run_once, emit, quick):
+    # products is the zoo's largest graph (~20x-scaled ogbn-products);
+    # quick mode downshifts to arxiv so CI still exercises every kernel.
+    graph = load_dataset("ogbn-arxiv" if quick else "ogbn-products")
+    matrix = normalized_adjacency(
+        graph.indptr, graph.indices, graph.num_nodes, mode="sym"
+    )
+    x = Tensor(
+        np.random.default_rng(0)
+        .standard_normal((graph.num_nodes, 64))
+        .astype(np.float32)
+    )
+    reps = 3 if quick else 10
+
+    def sweep():
+        seconds = {}
+        for name in KERNEL_NAMES:
+            kernel = get_kernel(name)
+            with no_grad():
+                kernel.spmm(matrix, x)  # warm the per-matrix plan cache
+                t0 = time.perf_counter()
+                for _ in range(reps):
+                    kernel.spmm(matrix, x)
+                seconds[name] = (time.perf_counter() - t0) / reps
+        return seconds
+
+    seconds = run_once(sweep)
+    ref = seconds["reference"]
+    _table(
+        emit,
+        ("kernel", "ms/spmm", "vs reference"),
+        [
+            (name, f"{s * 1e3:.2f}", f"{ref / s:.2f}x")
+            for name, s in seconds.items()
+        ],
+    )
+    emit(
+        f"[bench-kernels] graph={graph.name} nodes={graph.num_nodes} "
+        f"edges={graph.num_edges} cpus={os.cpu_count()} reps={reps}"
+    )
+    if not quick and (os.cpu_count() or 1) >= 2:
+        assert seconds["parallel"] < ref, (
+            "thread-parallel spmm should beat reference on "
+            f"{graph.name} with {os.cpu_count()} cpus: "
+            f"{seconds['parallel']:.4f}s vs {ref:.4f}s"
+        )
+
+
+def _train(graph, task, kernel_name, *, legacy=False):
+    reset_kernel_counters()
+    backend = RuntimeBackend(
+        task, replace(CONFIG, kernel=kernel_name), graph=graph
+    )
+    if legacy:
+        # Pre-refactor A/B: drop the kernel so Propagation routes every
+        # aggregation through the original autograd.sparse.spmm path.
+        backend.kernel = None
+        backend._full_prop.kernel = None
+    t0 = time.perf_counter()
+    report = backend.train()
+    wall = time.perf_counter() - t0
+    counters = kernel_counters().get(kernel_name, {})
+    return {
+        "wall": wall,
+        "losses": np.array([e.loss for e in report.epochs]),
+        "accuracy": report.accuracy,
+        "spmm_calls": int(counters.get("calls", 0)),
+        "spmm_s": counters.get("seconds", 0.0),
+    }
+
+
+def test_training_loss_parity_across_kernels(run_once, emit, quick):
+    graph = load_dataset("ogbn-arxiv")
+    task = TaskSpec(
+        dataset="ogbn-arxiv", arch="gcn", epochs=1 if quick else 3, lr=0.02
+    )
+
+    def sweep():
+        legacy = _train(graph, task, "reference", legacy=True)
+        return legacy, {name: _train(graph, task, name) for name in KERNEL_NAMES}
+
+    legacy, runs = run_once(sweep)
+    _table(
+        emit,
+        ("kernel", "wall s", "acc", "spmm calls", "spmm s", "max|dloss|"),
+        [
+            (
+                "(legacy)",
+                f"{legacy['wall']:.2f}",
+                f"{legacy['accuracy']:.3f}",
+                "-",
+                "-",
+                "-",
+            ),
+            *(
+                (
+                    name,
+                    f"{r['wall']:.2f}",
+                    f"{r['accuracy']:.3f}",
+                    r["spmm_calls"],
+                    f"{r['spmm_s']:.3f}",
+                    f"{np.abs(r['losses'] - legacy['losses']).max():.2e}",
+                )
+                for name, r in runs.items()
+            ),
+        ],
+    )
+
+    reference = runs["reference"]
+    assert np.array_equal(reference["losses"], legacy["losses"]), (
+        "reference kernel must be bit-identical to the pre-refactor path"
+    )
+    assert reference["accuracy"] == legacy["accuracy"]
+    assert reference["spmm_calls"] > 0  # the refactored path actually ran
+    for name, run in runs.items():
+        if name == "reference":
+            continue
+        drift = float(np.abs(run["losses"] - legacy["losses"]).max())
+        assert drift < LOSS_TOL, f"{name} loss trajectory drifted by {drift}"

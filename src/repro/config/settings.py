@@ -11,7 +11,7 @@ Cat. 1 Sampling           ``batch_size``, ``sampler``, ``hop_list``,
 Cat. 2 Transmission       ``cache_ratio``, ``cache_policy``
 Cat. 3 Model design       ``hidden_channels``, ``num_layers``, ``heads``,
                           ``dropout``
-Cat. 4 Computation        ``reorder``
+Cat. 4 Computation        ``reorder``, ``kernel``
 ========================  =====================================
 
 Pre-determined settings (dataset, architecture, platform, epochs, learning
@@ -21,18 +21,39 @@ explorer (Fig. 4 "Pre-determined Settings").
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.errors import ConfigError
 
-__all__ = ["TrainingConfig", "TaskSpec", "SAMPLER_NAMES", "REORDER_NAMES", "ORDER_NAMES"]
+__all__ = [
+    "TrainingConfig",
+    "TaskSpec",
+    "SAMPLER_NAMES",
+    "REORDER_NAMES",
+    "ORDER_NAMES",
+    "KERNEL_NAMES",
+]
 
 SAMPLER_NAMES = ("sage", "fastgcn", "saint", "biased", "cluster")
 REORDER_NAMES = ("none", "degree", "bfs")
 ORDER_NAMES = ("random", "sequential", "partition")
+#: SpMM execution backends (``repro.runtime.kernels``).  Kept as a static
+#: tuple because config must not import the runtime package; the test suite
+#: asserts it matches the kernel registry.
+KERNEL_NAMES = ("reference", "fused", "parallel", "reorder")
 _CACHE_POLICIES = ("none", "static", "fifo", "lru")
+
+
+def _default_kernel() -> str:
+    """Process-wide kernel default, overridable via ``REPRO_KERNEL``.
+
+    The env hook lets whole deployments (CI matrix legs, fleet executors)
+    switch backends without touching every call site that builds a config.
+    """
+    return os.environ.get("REPRO_KERNEL", "reference")
 
 
 @dataclass(frozen=True)
@@ -51,6 +72,7 @@ class TrainingConfig:
     heads: int = 4
     dropout: float = 0.5
     reorder: str = "none"
+    kernel: str = field(default_factory=_default_kernel)
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -73,6 +95,8 @@ class TrainingConfig:
             raise ConfigError("dropout must lie in [0, 1)")
         if self.reorder not in REORDER_NAMES:
             raise ConfigError(f"unknown reorder strategy {self.reorder!r}")
+        if self.kernel not in KERNEL_NAMES:
+            raise ConfigError(f"unknown kernel {self.kernel!r}; known: {KERNEL_NAMES}")
 
     def canonical(self) -> "TrainingConfig":
         """Resolve knob interactions so equivalent candidates compare equal.
@@ -93,7 +117,14 @@ class TrainingConfig:
 
     # ------------------------------------------------------------- encodings
     def as_features(self) -> np.ndarray:
-        """Numeric encoding consumed by black-box estimator components."""
+        """Numeric encoding consumed by black-box estimator components.
+
+        ``kernel`` is deliberately **not** encoded: the analytic cost model
+        charges time from FLOP/byte counts that are identical under every
+        kernel, so including it would only split the estimator's training
+        data across feature values that carry no signal.  Keeping the
+        vector stable also preserves transfer-corpus compatibility.
+        """
         sampler_onehot = [1.0 if self.sampler == s else 0.0 for s in SAMPLER_NAMES]
         policy_onehot = [1.0 if self.cache_policy == p else 0.0 for p in _CACHE_POLICIES]
         fanout_product = float(np.prod([1.0 + k for k in self.hop_list]))
@@ -150,6 +181,8 @@ class TrainingConfig:
         parts.append(f"hidden={self.hidden_channels}")
         if self.reorder != "none":
             parts.append(f"reorder={self.reorder}")
+        if self.kernel != "reference":
+            parts.append(f"kernel={self.kernel}")
         return " ".join(parts)
 
     # ---------------------------------------------------------- serialization

@@ -25,10 +25,18 @@ def degree_order(graph: CSRGraph) -> np.ndarray:
 
 
 def bfs_order(graph: CSRGraph, *, start: int | None = None) -> np.ndarray:
-    """BFS visitation order from the max-degree vertex (covers all components)."""
+    """BFS visitation order from the max-degree vertex (covers all components).
+
+    Always returns a full permutation of ``0..n-1`` — :func:`apply_order`
+    rejects anything shorter.  Components unreachable from ``start``
+    (including a tail of isolated vertices) are picked up by the scan loop
+    in ascending id order.
+    """
     n = graph.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
     if start is None:
-        start = int(np.argmax(graph.degrees)) if n else 0
+        start = int(np.argmax(graph.degrees))
     elif not 0 <= start < n:
         raise GraphError(f"start {start} out of range")
     visited = np.zeros(n, dtype=bool)
@@ -39,10 +47,13 @@ def bfs_order(graph: CSRGraph, *, start: int | None = None) -> np.ndarray:
     scan = 0
     while pos < n:
         if not pending:
-            while scan < n and visited[scan]:
+            # Invariant: visited count == pos + len(pending), so with the
+            # queue empty and pos < n an unvisited vertex must exist — the
+            # scan cannot run off the end, and truncating here (the old
+            # ``return order[:pos]``) could only ever hide a real bug as a
+            # bogus sub-permutation that apply_order then rejected.
+            while visited[scan]:
                 scan += 1
-            if scan == n:
-                break
             pending.append(scan)
             visited[scan] = True
         node = pending.popleft()
@@ -52,7 +63,7 @@ def bfs_order(graph: CSRGraph, *, start: int | None = None) -> np.ndarray:
             if not visited[nbr]:
                 visited[nbr] = True
                 pending.append(int(nbr))
-    return order[:pos]
+    return order
 
 
 def apply_order(graph: CSRGraph, order: np.ndarray) -> CSRGraph:

@@ -3,6 +3,15 @@
 Layers consume a :class:`Propagation` — the per-mini-batch message-passing
 structure built once from a sampled subgraph and shared by all layers, so the
 normalised adjacency is not recomputed per layer.
+
+A :class:`Propagation` may carry an
+:class:`~repro.runtime.kernels.SpmmKernel` instance (duck-typed — this
+module never imports the runtime package, avoiding an import cycle).  When
+present, every sparse aggregation routes through it, and kernels that fuse
+the bias/activation epilogue get the whole GCN/SAGE layer tail in one call
+(``docs/kernels.md``).  With ``kernel=None`` the layers run the seed-era
+:func:`~repro.autograd.sparse.spmm` path unchanged — that is the
+bit-exactness baseline the ``reference`` kernel is asserted against.
 """
 
 from __future__ import annotations
@@ -20,27 +29,56 @@ from repro.nn.module import Module, Parameter
 __all__ = ["Propagation", "GCNConv", "SAGEConv", "GATConv"]
 
 
+def _spmm(prop: "Propagation", matrix: sp.csr_matrix, x: Tensor, **kwargs) -> Tensor:
+    """Route an aggregation through the propagation's kernel, if any."""
+    if prop.kernel is None:
+        return spmm(matrix, x, **kwargs)
+    return prop.kernel.spmm(matrix, x, **kwargs)
+
+
+def _activate(x: Tensor, activation: str | None) -> Tensor:
+    if activation is None:
+        return x
+    from repro.autograd.functional import elu, relu
+
+    if activation == "relu":
+        return relu(x)
+    if activation == "elu":
+        return elu(x)
+    raise ValueError(f"unknown activation {activation!r}")
+
+
 class Propagation:
     """Message-passing structure of one (sub)graph, built lazily.
 
     ``sym``/``row`` are the GCN / mean-aggregation propagation matrices;
     ``src``/``dst`` enumerate directed edges *including self-loops* for
-    attention layers.
+    attention layers.  ``kernel`` optionally selects the SpMM execution
+    backend; kernels cache their per-matrix plans on the matrices this
+    object memoises, so plans live exactly one topology.
     """
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray, num_nodes: int) -> None:
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        num_nodes: int,
+        *,
+        kernel=None,
+    ) -> None:
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
         self.num_nodes = int(num_nodes)
+        self.kernel = kernel
         self._sym: sp.csr_matrix | None = None
         self._row: sp.csr_matrix | None = None
         self._row_t: sp.csr_matrix | None = None
         self._coo: tuple[np.ndarray, np.ndarray] | None = None
 
     @classmethod
-    def from_graph(cls, graph) -> "Propagation":
+    def from_graph(cls, graph, *, kernel=None) -> "Propagation":
         """Build from any object with ``indptr``/``indices``/``num_nodes``."""
-        return cls(graph.indptr, graph.indices, graph.num_nodes)
+        return cls(graph.indptr, graph.indices, graph.num_nodes, kernel=kernel)
 
     @property
     def sym(self) -> sp.csr_matrix:
@@ -115,8 +153,22 @@ class GCNConv(Module):
         super().__init__()
         self.lin = Linear(in_features, out_features, bias=True, rng=rng)
 
-    def forward(self, x: Tensor, prop: Propagation) -> Tensor:
-        return self.lin(spmm(prop.sym, x, symmetric=True))
+    def forward(
+        self, x: Tensor, prop: Propagation, *, activation: str | None = None
+    ) -> Tensor:
+        kernel = prop.kernel
+        if kernel is not None and kernel.fuses_epilogue:
+            # Reassociate (A X) W -> A (X W) so bias + activation fuse into
+            # the aggregation (tolerance-bounded vs reference; see
+            # docs/kernels.md).
+            return kernel.spmm_epilogue(
+                prop.sym,
+                x @ self.lin.weight,
+                bias=self.lin.bias,
+                activation=activation,
+                symmetric=True,
+            )
+        return _activate(self.lin(_spmm(prop, prop.sym, x, symmetric=True)), activation)
 
 
 class SAGEConv(Module):
@@ -133,10 +185,22 @@ class SAGEConv(Module):
         self.lin_self = Linear(in_features, out_features, bias=True, rng=rng)
         self.lin_neigh = Linear(in_features, out_features, bias=False, rng=rng)
 
-    def forward(self, x: Tensor, prop: Propagation) -> Tensor:
-        return self.lin_self(x) + self.lin_neigh(
-            spmm(prop.row, x, transposed=prop.row_t)
+    def forward(
+        self, x: Tensor, prop: Propagation, *, activation: str | None = None
+    ) -> Tensor:
+        kernel = prop.kernel
+        if kernel is not None and kernel.fuses_epilogue:
+            return kernel.spmm_epilogue(
+                prop.row,
+                x @ self.lin_neigh.weight,
+                add=self.lin_self(x),
+                activation=activation,
+                transposed=prop.row_t,
+            )
+        out = self.lin_self(x) + self.lin_neigh(
+            _spmm(prop, prop.row, x, transposed=prop.row_t)
         )
+        return _activate(out, activation)
 
 
 class GATConv(Module):
@@ -187,19 +251,21 @@ class GATConv(Module):
         alpha_src = (h * self.att_src).sum(axis=2)  # (n, heads)
         alpha_dst = (h * self.att_dst).sum(axis=2)
         logits = leaky_relu(
-            spmm(mats["gather_src"], alpha_src, transposed=mats["scatter_src"])
-            + spmm(mats["gather_dst"], alpha_dst, transposed=mats["scatter_dst"]),
+            _spmm(prop, mats["gather_src"], alpha_src, transposed=mats["scatter_src"])
+            + _spmm(prop, mats["gather_dst"], alpha_dst, transposed=mats["scatter_dst"]),
             self.negative_slope,
         )
         att = segment_softmax(logits, dst, n, scatter_matrix=mats["scatter_dst"])
 
-        messages = spmm(
+        messages = _spmm(
+            prop,
             mats["gather_src"],
             h.reshape(n, self.heads * self.out_features),
             transposed=mats["scatter_src"],
         ).reshape(src.size, self.heads, self.out_features)
         weighted = messages * att.reshape(src.size, self.heads, 1)
-        out = spmm(
+        out = _spmm(
+            prop,
             mats["scatter_dst"],
             weighted.reshape(src.size, self.heads * self.out_features),
             transposed=mats["gather_dst"],

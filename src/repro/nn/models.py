@@ -99,11 +99,21 @@ class GNN(Module):
         self.layers = layers
 
     def forward(self, x: Tensor, prop: Propagation) -> Tensor:
+        # Fusing kernels take the hidden-layer relu inside the aggregation
+        # call; the dropout rng draw order stays identical either way, so
+        # switching kernels never desynchronises the mask sequence.
+        kernel = getattr(prop, "kernel", None)
+        fuse = kernel is not None and kernel.fuses_epilogue and self.arch != "gat"
         h = x
         for i, layer in enumerate(self.layers):
-            h = layer(h, prop)
-            if i < self.num_layers - 1:
-                h = elu(h) if self.arch == "gat" else relu(h)
+            last = i == self.num_layers - 1
+            if fuse:
+                h = layer(h, prop, activation=None if last else "relu")
+            else:
+                h = layer(h, prop)
+                if not last:
+                    h = elu(h) if self.arch == "gat" else relu(h)
+            if not last:
                 h = dropout(h, self.dropout_p, training=self.training, rng=self._rng)
         return log_softmax(h, axis=-1)
 

@@ -16,7 +16,10 @@ The backend is where the four optimization categories meet:
 * transmission — the :class:`~repro.hardware.cache.DeviceCache` (Cat. 2);
 * model design — ``build_model`` (Cat. 3);
 * computation — graph reordering tweaks the effective device bandwidth
-  (Cat. 4) through the roofline model.
+  (Cat. 4) through the roofline model, and ``config.kernel`` selects the
+  SpMM execution backend (``repro.runtime.kernels``) that actually runs
+  the aggregation — the analytic charge is kernel-independent, but the
+  *measured* host wall clock is not (``bench_kernels.py``).
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from repro.nn.graphconv import Propagation
 from repro.nn.metrics import accuracy
 from repro.nn.models import build_model
 from repro.nn.optim import Adam
+from repro.runtime.kernels import get_kernel
 from repro.runtime.report import BatchRecord, EpochStats, PerfReport
 from repro.sampling.base import Sampler
 from repro.sampling.batching import BatchIterator
@@ -113,7 +117,9 @@ class RuntimeBackend:
             raise ConfigError("runtime backend needs a featured, labelled graph")
 
         # Cat. 4: computation — reordering improves aggregation locality,
-        # which the roofline model converts into effective bandwidth.
+        # which the roofline model converts into effective bandwidth, and
+        # the selected kernel executes the actual SpMM products.
+        self.kernel = get_kernel(self.config.kernel)
         self.graph = reorder_graph(graph, self.config.reorder)
         self._bandwidth_scale = 0.7 + 0.3 * locality_score(self.graph)
 
@@ -161,7 +167,7 @@ class RuntimeBackend:
         self.optimizer = Adam(self.model.parameters(), lr=task.lr)
         self._rng = np.random.default_rng(task.seed + 7)
         self._features = self.graph.features
-        self._full_prop = Propagation.from_graph(self.graph)
+        self._full_prop = Propagation.from_graph(self.graph, kernel=self.kernel)
         self._train_mask = np.zeros(self.graph.num_nodes, dtype=bool)
         self._train_mask[self.train_nodes] = True
         self._peak_runtime_bytes = 0.0
@@ -171,7 +177,7 @@ class RuntimeBackend:
         """One real forward/backward/optimize step on the sampled subgraph."""
         sub = batch.subgraph
         x = Tensor(self._features[batch.nodes])
-        prop = Propagation.from_graph(sub)
+        prop = Propagation.from_graph(sub, kernel=self.kernel)
         self.model.train()
         self.optimizer.zero_grad()
         out = self.model(x, prop)

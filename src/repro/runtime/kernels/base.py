@@ -1,0 +1,195 @@
+"""Kernel base class: the contract every SpMM backend implements.
+
+A :class:`SpmmKernel` owns the *numeric execution* of sparse aggregation —
+``matrix @ x`` and its fused epilogue variants — while the autograd wiring
+(tape node, backward closure, transpose memoisation) lives here in the base
+class and is identical for every kernel.  Subclasses override
+:meth:`_matmul` (and optionally :meth:`spmm_epilogue`); they never touch the
+tape, which is how the backward contract of
+:func:`repro.autograd.sparse.spmm` stays intact across backends
+(``docs/kernels.md``).
+
+Two cross-cutting services also live here:
+
+* **per-kernel timing counters** — every forward/backward matmul is timed
+  and accumulated into a module-level table read by
+  :func:`kernel_counters` (surfaced as ``kernel_spmm_*{kernel=...}``
+  gauges on the serving metrics registry and by ``bench_kernels.py``);
+* **per-matrix plan caching** — kernels that precompute an execution plan
+  (row blocks, permutations) stash it on the matrix object itself via
+  :meth:`_plan`, so the plan lives exactly as long as the topology: a
+  ``Propagation`` caches its propagation matrices across epochs, hence the
+  plan is computed once per topology and a *new* matrix (topology change)
+  naturally starts from a clean slate.  An in-place mutation of the CSR
+  arrays is caught by the validation token.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+__all__ = ["SpmmKernel", "kernel_counters", "reset_kernel_counters"]
+
+_COUNTER_LOCK = threading.Lock()
+_COUNTERS: dict[str, dict[str, float]] = {}  # guarded-by: _COUNTER_LOCK
+
+#: attribute name used to stash per-kernel execution plans on a csr matrix
+_PLAN_ATTR = "_repro_kernel_plans"
+
+
+def kernel_counters() -> dict[str, dict[str, float]]:
+    """Snapshot of the per-kernel timing counters.
+
+    ``{kernel_name: {"calls": float, "seconds": float}}`` — ``calls``
+    counts individual sparse matmuls (forward and backward alike),
+    ``seconds`` their accumulated wall clock.  Names that never ran are
+    absent; use ``.get(name, ...)`` when scraping.
+    """
+    with _COUNTER_LOCK:
+        return {name: dict(vals) for name, vals in _COUNTERS.items()}
+
+
+def reset_kernel_counters() -> None:
+    """Zero the timing table (test/bench isolation)."""
+    with _COUNTER_LOCK:
+        _COUNTERS.clear()
+
+
+class SpmmKernel:
+    """One SpMM execution backend.
+
+    Subclasses set :attr:`name`, override :meth:`_matmul` for the raw
+    product, and may override :meth:`spmm_epilogue` when they can fuse the
+    bias/activation epilogue (setting :attr:`fuses_epilogue` so model code
+    routes the epilogue through them).  ``bit_exact`` declares the parity
+    contract the test suite holds the kernel to: byte-identical to the
+    scipy reference, or merely tolerance-bounded (``docs/kernels.md``).
+    """
+
+    name: str = "abstract"
+    #: whether model code may hand this kernel the bias/activation epilogue
+    fuses_epilogue: bool = False
+    #: parity contract: bit-identical to ``matrix @ x`` vs tolerance-bounded
+    bit_exact: bool = False
+
+    # ------------------------------------------------------------- numeric core
+    def _matmul(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+        """``matrix @ dense`` — the only method most kernels override."""
+        raise NotImplementedError
+
+    def _timed_matmul(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+        start = time.perf_counter()
+        out = self._matmul(matrix, dense)
+        elapsed = time.perf_counter() - start
+        with _COUNTER_LOCK:
+            slot = _COUNTERS.setdefault(self.name, {"calls": 0.0, "seconds": 0.0})
+            slot["calls"] += 1.0
+            slot["seconds"] += elapsed
+        return out
+
+    # ------------------------------------------------------------- plan caching
+    def _plan(self, matrix: sp.csr_matrix, build):
+        """Per-(matrix, kernel) plan, computed once per topology.
+
+        ``build(matrix)`` runs on a cache miss.  The plan is stored on the
+        matrix object under this kernel's name together with a validation
+        token ``(shape, nnz, id(indptr), id(indices))``: a topology change
+        means a new matrix object (no stash) or rebound CSR arrays (token
+        mismatch), and either way the plan is rebuilt.  Benign race on
+        concurrent first use: both threads build the same deterministic
+        plan and one write wins.
+        """
+        token = (matrix.shape, matrix.nnz, id(matrix.indptr), id(matrix.indices))
+        plans = getattr(matrix, _PLAN_ATTR, None)
+        if plans is None:
+            plans = {}
+            try:
+                setattr(matrix, _PLAN_ATTR, plans)
+            except AttributeError:  # exotic matrix type without a __dict__
+                return build(matrix)
+        cached = plans.get(self.name)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        plan = build(matrix)
+        plans[self.name] = (token, plan)
+        return plan
+
+    # ----------------------------------------------------------------- autograd
+    def spmm(
+        self,
+        matrix: sp.csr_matrix,
+        x: Tensor,
+        *,
+        symmetric: bool = False,
+        transposed: sp.csr_matrix | None = None,
+    ) -> Tensor:
+        """``matrix @ x`` through this kernel, with the standard backward.
+
+        Same signature and tape contract as
+        :func:`repro.autograd.sparse.spmm`; the backward transpose is the
+        matrix itself when ``symmetric``, the supplied ``transposed``
+        matrix, or lazily computed and memoised on first backward.
+        """
+        x = as_tensor(x)
+        out = self._timed_matmul(matrix, x.data)
+        state: dict[str, sp.csr_matrix] = {}
+        if symmetric:
+            state["T"] = matrix
+        elif transposed is not None:
+            state["T"] = transposed
+
+        def backward(grad: np.ndarray) -> None:
+            if "T" not in state:
+                state["T"] = matrix.T.tocsr()
+            x._accumulate_fresh(self._timed_matmul(state["T"], grad))
+
+        return Tensor._make(np.asarray(out), (x,), backward)
+
+    def spmm_epilogue(
+        self,
+        matrix: sp.csr_matrix,
+        x: Tensor,
+        *,
+        add: Tensor | None = None,
+        bias: Tensor | None = None,
+        activation: str | None = None,
+        symmetric: bool = False,
+        transposed: sp.csr_matrix | None = None,
+    ) -> Tensor:
+        """``act(matrix @ x + add + bias)`` — the GCN/SAGE layer epilogue.
+
+        The base implementation composes ordinary autograd ops (one tape
+        node and one intermediate per term), so *every* kernel accepts the
+        epilogue call; fusing kernels override it to run the whole chain in
+        one tape node without materialised intermediates.
+        """
+        out = self.spmm(matrix, x, symmetric=symmetric, transposed=transposed)
+        if add is not None:
+            out = out + add
+        if bias is not None:
+            out = out + bias
+        return _apply_activation(out, activation)
+
+    def close(self) -> None:
+        """Release kernel-owned resources (worker pools); idempotent."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _apply_activation(out: Tensor, activation: str | None) -> Tensor:
+    from repro.autograd.functional import elu, relu
+
+    if activation is None:
+        return out
+    if activation == "relu":
+        return relu(out)
+    if activation == "elu":
+        return elu(out)
+    raise ValueError(f"unknown epilogue activation {activation!r}")

@@ -1,0 +1,91 @@
+"""Fused spmm + bias + activation kernel.
+
+The GCN/SAGE layer epilogue — ``act(A @ x [+ self_term] [+ bias])`` — costs
+three extra full-size intermediates and three tape nodes when composed from
+autograd primitives.  This kernel runs the whole chain as **one** tape node:
+the spmm output buffer is reused in place for the adds and the ReLU clamp
+(legal because it is a fresh allocation that no other node has seen), and a
+single backward closure distributes the gradient to ``x``, ``add`` and
+``bias`` directly.
+
+Tolerance contract (``docs/kernels.md``): the kernel itself is bit-exact for
+the epilogue it fuses, but the layer-level rewrite it enables in
+``nn/graphconv.py`` — ``(A @ X) W → A (X W)`` so the bias/activation can fuse
+into the aggregation — reassociates float32 sums, so end-to-end parity with
+``reference`` is tolerance-bounded, not byte-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.runtime.kernels.base import SpmmKernel
+
+__all__ = ["FusedKernel"]
+
+
+class FusedKernel(SpmmKernel):
+    """One tape node for ``act(matrix @ x + add + bias)``."""
+
+    name = "fused"
+    fuses_epilogue = True
+
+    def _matmul(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+        return matrix @ dense
+
+    def spmm_epilogue(
+        self,
+        matrix: sp.csr_matrix,
+        x: Tensor,
+        *,
+        add: Tensor | None = None,
+        bias: Tensor | None = None,
+        activation: str | None = None,
+        symmetric: bool = False,
+        transposed: sp.csr_matrix | None = None,
+    ) -> Tensor:
+        if activation not in (None, "relu"):
+            # elu's backward needs the negative-branch values; not worth
+            # fusing for the one GAT path that uses it.
+            return super().spmm_epilogue(
+                matrix, x, add=add, bias=bias, activation=activation,
+                symmetric=symmetric, transposed=transposed,
+            )
+        x = as_tensor(x)
+        out = self._timed_matmul(matrix, x.data)
+        out = np.asarray(out)
+        if add is not None:
+            out += add.data
+        if bias is not None:
+            out += bias.data
+        mask: np.ndarray | None = None
+        if activation == "relu":
+            mask = out > 0
+            out *= mask
+
+        state: dict[str, sp.csr_matrix] = {}
+        if symmetric:
+            state["T"] = matrix
+        elif transposed is not None:
+            state["T"] = transposed
+
+        def backward(grad: np.ndarray) -> None:
+            if mask is not None:
+                grad_pre = grad * mask  # fresh — safe to hand out below
+            else:
+                grad_pre = grad  # aliases the output node's grad buffer
+            if bias is not None:
+                bias._accumulate_fresh(grad_pre.sum(axis=0))
+            if add is not None:
+                if mask is not None:
+                    add._accumulate_fresh(grad_pre)
+                else:
+                    add._accumulate(grad_pre)
+            if "T" not in state:
+                state["T"] = matrix.T.tocsr()
+            x._accumulate_fresh(self._timed_matmul(state["T"], grad_pre))
+
+        parents = tuple(t for t in (x, add, bias) if t is not None)
+        return Tensor._make(out, parents, backward)

@@ -1,0 +1,28 @@
+"""The reference kernel: exactly the seed-era scipy product, bit for bit.
+
+Every optimized kernel is judged against this one.  Its forward is the same
+``matrix @ dense`` call :func:`repro.autograd.sparse.spmm` has always made,
+its backward inherits the base-class wiring that mirrors that function, and
+its epilogue is the un-fused autograd composition — so a training run under
+``kernel=reference`` produces byte-identical losses to the pre-refactor code
+path (asserted by ``tests/test_kernels.py`` and ``bench_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.runtime.kernels.base import SpmmKernel
+
+__all__ = ["ReferenceKernel"]
+
+
+class ReferenceKernel(SpmmKernel):
+    """Plain scipy CSR x dense — the bit-exactness anchor."""
+
+    name = "reference"
+    bit_exact = True
+
+    def _matmul(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+        return matrix @ dense

@@ -1,0 +1,77 @@
+"""Reorder-aware SpMM: vertex permutations finally reach the compute.
+
+``graphs/reorder.py`` has shipped degree and BFS renumberings since the seed,
+but until this kernel they only nudged the roofline model's bandwidth scalar
+— the actual product ran on the original vertex order.  Here the permutation
+is applied *inside* the kernel, per propagation matrix:
+
+1. interpret a square propagation matrix as its own graph (row nnz as
+   degrees, stored columns as neighbours — self-loops and float weights are
+   irrelevant to ordering);
+2. compute ``perm`` with the selected :mod:`repro.graphs.reorder` strategy;
+3. cache ``B = matrix[perm][:, perm]`` — rows *and* columns renumbered, so
+   consecutive rows touch nearby input rows and cache lines are shared;
+4. per product, gather ``x[perm]``, run ``B @ x[perm]`` and scatter the
+   result back: ``out[perm] = B @ x[perm]`` is exactly ``matrix @ x`` up to
+   float reassociation (column order inside each row changes, so parity with
+   ``reference`` is tolerance-bounded — ``docs/kernels.md``).
+
+The permutation and permuted matrix are built once per topology via the
+base-class plan cache, so across training epochs the kernel costs two dense
+gathers on top of a better-localised product.  Non-square operands (GAT
+gather/scatter matrices) and identity-permutation graphs fall back to the
+plain product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.runtime.kernels.base import SpmmKernel
+
+__all__ = ["ReorderKernel"]
+
+
+class ReorderKernel(SpmmKernel):
+    """SpMM on a degree/BFS-renumbered copy of the propagation matrix."""
+
+    name = "reorder"
+
+    def __init__(self, strategy: str = "degree") -> None:
+        if strategy not in ("degree", "bfs"):
+            raise ValueError(f"unknown reorder strategy {strategy!r}")
+        self.strategy = strategy
+
+    # ------------------------------------------------------------------ plan
+    def _build_plan(self, matrix: sp.csr_matrix):
+        """``(perm, permuted_matrix)`` or ``None`` for the serial fallback."""
+        n_rows, n_cols = matrix.shape
+        if n_rows != n_cols or n_rows < 2:
+            return None
+        from repro.graphs.csr import CSRGraph
+        from repro.graphs.reorder import bfs_order, degree_order
+
+        graph = CSRGraph(
+            indptr=matrix.indptr.astype(np.int64, copy=False),
+            indices=matrix.indices.astype(np.int64, copy=False),
+            name="kernel-view",
+        )
+        perm = degree_order(graph) if self.strategy == "degree" else bfs_order(graph)
+        if np.array_equal(perm, np.arange(n_rows, dtype=np.int64)):
+            return None  # already in the target order
+        permuted = matrix[perm][:, perm].tocsr()
+        return perm, permuted
+
+    # --------------------------------------------------------------- numerics
+    def _matmul(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+        plan = self._plan(matrix, self._build_plan)
+        if plan is None:
+            return matrix @ dense
+        perm, permuted = plan
+        out = np.empty(
+            (matrix.shape[0],) + dense.shape[1:],
+            dtype=np.result_type(matrix.dtype, dense.dtype),
+        )
+        out[perm] = permuted @ dense[perm]
+        return out

@@ -210,6 +210,31 @@ class TestReorder:
         order = bfs_order(medium_graph)
         assert np.unique(order).size == medium_graph.num_nodes
 
+    def test_bfs_order_isolated_tail_full_permutation(self):
+        # A connected head component followed by a tail of isolated
+        # vertices: BFS exhausts the head, then the scan loop must pick up
+        # every isolated trailing vertex — a truncated (non-permutation)
+        # order would make apply_order reject a perfectly valid graph.
+        from repro.graphs.csr import CSRGraph
+
+        head = np.array([0, 1, 2, 3])
+        g = CSRGraph.from_edges(
+            10, head, np.roll(head, 1), symmetrize=True
+        )  # vertices 4..9 are isolated
+        order = bfs_order(g)
+        assert order.shape == (10,)
+        assert np.array_equal(np.sort(order), np.arange(10))
+        reordered = apply_order(g, order)
+        assert reordered.num_edges == g.num_edges
+
+    def test_bfs_order_empty_graph(self):
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph(indptr=np.zeros(1, dtype=np.int64), indices=np.empty(0, dtype=np.int64))
+        order = bfs_order(g)
+        assert order.shape == (0,)
+        assert order.dtype == np.int64
+
     def test_apply_order_preserves_structure(self, small_graph):
         order = degree_order(small_graph)
         reordered = apply_order(small_graph, order)
